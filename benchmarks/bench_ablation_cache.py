@@ -1,0 +1,17 @@
+"""Ablation — page-cache state for containerized (CFF) reads."""
+
+from conftest import run_once
+
+from repro.bench.ablations import ablation_cache
+from repro.bench import write_report
+
+
+def test_ablation_cache(benchmark, profile):
+    text, data = run_once(benchmark, ablation_cache, profile)
+    write_report("ablation_cache", text, data)
+    # Warm caches only help datasets that fit: big difference on Ising,
+    # little on the AISD-scale container.
+    ising = data["ising"]
+    assert ising["warm"]["p50"] < 0.7 * ising["cold"]["p50"]
+    aisd = data["aisd"]
+    assert aisd["warm"]["p50"] > 0.5 * aisd["cold"]["p50"]

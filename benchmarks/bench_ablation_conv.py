@@ -1,0 +1,15 @@
+"""Ablation — message-passing policy: PNA vs GIN vs GraphSAGE."""
+
+from conftest import run_once
+
+from repro.bench.ablations import ablation_conv_policy
+from repro.bench import write_report
+
+
+def test_ablation_conv_policy(benchmark, profile):
+    text, data = run_once(benchmark, ablation_conv_policy, profile)
+    write_report("ablation_conv_policy", text, data)
+    for policy, out in data.items():
+        assert out["last"] < out["first"], policy  # every policy learns
+    # PNA buys its cost with capacity.
+    assert data["pna"]["params"] > data["gin"]["params"]

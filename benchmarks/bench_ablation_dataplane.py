@@ -1,0 +1,15 @@
+"""Ablation — communication framework: one-sided RMA vs two-sided p2p."""
+
+from conftest import run_once
+
+from repro.bench.ablations import ablation_dataplane
+from repro.bench import write_report
+
+
+def test_ablation_dataplane(benchmark, profile):
+    text, data = run_once(benchmark, ablation_dataplane, profile)
+    write_report("ablation_dataplane", text, data)
+    # The paper chose RMA because two-sided exchange needs the target's
+    # involvement; the polling delay must show up as slower fetches.
+    assert data["rma_speedup"] > 1.1
+    assert data["ddstore"]["p50"] < data["ddstore-p2p"]["p50"]

@@ -1,0 +1,16 @@
+"""Ablation — node-local NVMe staging vs DDStore (Summit burst buffer)."""
+
+from conftest import run_once
+
+from repro.bench.ablations import ablation_nvme
+from repro.bench import write_report
+
+
+def test_ablation_nvme(benchmark, profile):
+    text, data = run_once(benchmark, ablation_nvme, profile)
+    write_report("ablation_nvme", text, data)
+    # Both in-memory and flash staging beat the PFS baseline end to end...
+    assert data["ddstore"]["throughput"] > data["pff"]["throughput"]
+    assert data["nvme"]["throughput"] > data["pff"]["throughput"]
+    # ...and DRAM + RMA fetches are at least as fast as flash reads.
+    assert data["ddstore"]["p50"] <= data["nvme"]["p50"] * 1.5

@@ -1,0 +1,18 @@
+"""Ablation — global shuffle vs static shard + local shuffle."""
+
+from conftest import run_once
+
+from repro.bench.ablations import ablation_shuffle
+from repro.bench import write_report
+
+
+def test_ablation_shuffle(benchmark, profile):
+    text, data = run_once(benchmark, ablation_shuffle, profile)
+    write_report("ablation_shuffle", text, data)
+    # Local shuffling keeps every fetch on the local chunk: loading gets
+    # cheaper...
+    assert data["perf_local"]["p50"] < data["perf_global"]["p50"]
+    # ...which is exactly why the paper stresses global shuffling needs to
+    # be cheap rather than avoided. Both trainings must converge sanely.
+    q = data["quality_val_mse"]
+    assert all(v > 0 and v < 100 for v in q.values())

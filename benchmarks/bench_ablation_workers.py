@@ -1,0 +1,16 @@
+"""Ablation — loader-worker concurrency (latency hiding sensitivity)."""
+
+from conftest import run_once
+
+from repro.bench.ablations import ablation_workers
+from repro.bench import write_report
+
+
+def test_ablation_workers(benchmark, profile):
+    text, data = run_once(benchmark, ablation_workers, profile)
+    write_report("ablation_workers", text, data)
+    # Extra workers help the latency-bound baseline far more than DDStore.
+    pff = [p["throughput"] for p in data["pff"]]
+    dd = [p["throughput"] for p in data["ddstore"]]
+    assert pff[-1] > 1.5 * pff[0]  # PFF gains a lot from 8 workers
+    assert dd[-1] < 3.0 * dd[0]  # DDStore is not metadata-latency-bound

@@ -1,0 +1,19 @@
+"""Fig 10 — strong scaling at a fixed global batch (6144 Summit / 4096 Perlmutter)."""
+
+from conftest import run_once
+
+from repro.bench import fig10_global_batch, write_report
+
+
+def test_fig10_global_batch(benchmark, profile):
+    text, data = run_once(benchmark, fig10_global_batch, profile)
+    write_report("fig10_global_batch", text, data)
+    for machine, methods in data.items():
+        dd = methods["ddstore"]
+        pff = methods["pff"]
+        # DDStore still ahead of PFF at every point...
+        for d, p in zip(dd, pff):
+            assert d["throughput"] > p["throughput"], machine
+        # ...but the paper notes the gap narrows as the local batch shrinks:
+        ratios = [d["throughput"] / p["throughput"] for d, p in zip(dd, pff)]
+        assert ratios[-1] <= ratios[0] * 1.5

@@ -1,0 +1,15 @@
+"""Fig 11 — end-to-end throughput as the DDStore width varies."""
+
+from conftest import run_once
+
+from repro.bench import fig11_width, write_report
+
+
+def test_fig11_width(benchmark, profile):
+    text, data = run_once(benchmark, fig11_width, profile)
+    write_report("fig11_width", text, data)
+    for machine, points in data.items():
+        tps = [p["throughput"] for p in points]
+        # Paper: width moves end-to-end throughput by < ~10%; allow 30%
+        # spread in the scaled-down reproduction.
+        assert max(tps) / min(tps) < 1.3, machine

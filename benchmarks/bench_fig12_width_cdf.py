@@ -1,0 +1,17 @@
+"""Fig 12 — loading-latency CDF: default width vs width=2."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.bench import fig12_width_cdf, write_report
+
+
+def test_fig12_width_cdf(benchmark, profile):
+    text, data = run_once(benchmark, fig12_width_cdf, profile)
+    write_report("fig12_width_cdf", text, data)
+    for ds, curves in data.items():
+        keys = sorted(curves)
+        w2 = curves["width=2"]
+        wdef = [curves[k] for k in keys if k != "width=2"][0]
+        # Half of the graphs load much faster at width=2 (paper Fig 12).
+        assert np.median(w2["x"]) < np.median(wdef["x"]), ds

@@ -1,0 +1,24 @@
+"""Fig 13 — train/val/test MSE convergence with ReduceLROnPlateau."""
+
+from conftest import run_once
+
+from repro.bench import fig13_convergence, write_report
+
+
+def test_fig13_convergence(benchmark, profile):
+    text, data = run_once(benchmark, fig13_convergence, profile)
+    write_report("fig13_convergence", text, data)
+    hist = data["history"]
+    first, last = hist[0], hist[-1]
+    # Training converges: losses decrease on all splits (and by at least
+    # 2x on train when the run is long enough to matter).
+    assert last["train"] < first["train"]
+    if len(hist) >= 30:
+        assert last["train"] < 0.5 * first["train"]
+    assert last["val"] < first["val"]
+    assert last["test"] < first["test"]
+    # The LR scheduler engaged at least once over the run (paper: drop at
+    # epoch 26), unless the run is too short to plateau.
+    lrs = {h["lr"] for h in hist}
+    if len(hist) >= 30:
+        assert len(lrs) >= 2

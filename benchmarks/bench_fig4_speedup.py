@@ -1,0 +1,20 @@
+"""Fig 4 — normalized end-to-end training speedup (PFF/CFF/DDStore)."""
+
+from conftest import run_once
+
+from repro.bench import fig4_speedup, write_report
+
+
+def test_fig4_speedup(benchmark, profile):
+    text, data = run_once(benchmark, fig4_speedup, profile)
+    write_report("fig4_speedup", text, data)
+    for machine in ("summit", "perlmutter"):
+        gm = data[machine]["geomean_speedup"]
+        # Paper: DDStore geomean 2.93x (Summit) / 4.69x (Perlmutter) over PFF.
+        assert gm["ddstore"] > 2.0, machine
+        assert gm["pff"] == 1.0
+        # DDStore wins on every dataset.
+        for ds, tps in data[machine].items():
+            if ds == "geomean_speedup":
+                continue
+            assert tps["ddstore"] >= max(tps["pff"], tps["cff"]) * 0.95, (machine, ds)

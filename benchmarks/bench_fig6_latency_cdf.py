@@ -1,0 +1,17 @@
+"""Fig 6 — per-graph loading latency CDF, 64 GPUs on Perlmutter."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.bench import fig6_latency_cdf, write_report
+
+
+def test_fig6_latency_cdf(benchmark, profile):
+    text, data = run_once(benchmark, fig6_latency_cdf, profile)
+    write_report("fig6_latency_cdf", text, data)
+    for ds, methods in data.items():
+        for m, curve in methods.items():
+            assert np.all(np.diff(curve["x"]) >= 0), (ds, m)
+            assert curve["F"][-1] <= 1.0 + 1e-9
+        # DDStore's CDF sits left of PFF's (faster at the median).
+        assert np.median(methods["ddstore"]["x"]) < np.median(methods["pff"]["x"]), ds

@@ -1,0 +1,18 @@
+"""Fig 7 — Score-P-style profile: data loading vs MPI time in one epoch."""
+
+from conftest import run_once
+
+from repro.bench import fig7_profile, write_report
+
+
+def test_fig7_profile(benchmark, profile):
+    text, data = run_once(benchmark, fig7_profile, profile)
+    write_report("fig7_profile", text, data)
+    # Paper: data loading ~67% of the epoch, MPI RMA ~35% of overall time.
+    load_share = data["loading"] / data["total"]
+    rma_share = data["mpi_rma"] / data["total"]
+    assert 0.0 < load_share <= 0.95
+    if profile.summit_nodes >= 2:  # needs inter-node fetches to show up
+        assert 0.2 <= load_share
+        assert rma_share > 0.05
+    assert data["mpi_rma"] <= data["loading"] * 1.2  # RMA lives inside loading

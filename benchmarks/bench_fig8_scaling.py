@@ -1,0 +1,22 @@
+"""Fig 8 — scaling with fixed per-GPU batch size (8..256 nodes in paper)."""
+
+from conftest import run_once
+
+from repro.bench import fig8_scaling, write_report
+
+
+def test_fig8_scaling(benchmark, profile):
+    text, data = run_once(benchmark, fig8_scaling, profile)
+    write_report("fig8_scaling", text, data)
+    for machine, datasets in data.items():
+        for ds, methods in datasets.items():
+            dd = [p["throughput"] for p in methods["ddstore"]]
+            gpus = [p["gpus"] for p in methods["ddstore"]]
+            # Near-linear: doubling GPUs from first to last point scales
+            # DDStore throughput by >= 60% of the ideal factor.
+            ideal = gpus[-1] / gpus[0]
+            assert dd[-1] / dd[0] > 0.6 * ideal, (machine, ds)
+            # DDStore leads the baselines at the largest scale.
+            pff = methods["pff"][-1]["throughput"]
+            cff = methods["cff"][-1]["throughput"]
+            assert dd[-1] > max(pff, cff), (machine, ds)

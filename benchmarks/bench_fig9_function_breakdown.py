@@ -1,0 +1,18 @@
+"""Fig 9 — per-function durations of DDStore training across scales."""
+
+from conftest import run_once
+
+from repro.bench import fig9_function_breakdown, write_report
+
+
+def test_fig9_function_breakdown(benchmark, profile):
+    text, data = run_once(benchmark, fig9_function_breakdown, profile)
+    write_report("fig9_function_breakdown", text, data)
+    for machine, points in data.items():
+        for p in points:
+            phases = p["phases"]
+            assert all(v >= 0 for v in phases.values())
+            # With a fixed local batch, per-rank loading stays roughly flat
+            # across scales (that's why DDStore scales near-linearly).
+        loads = [p["phases"]["cpu_loading"] for p in points]
+        assert max(loads) < 5.0 * max(min(loads), 1e-9), machine

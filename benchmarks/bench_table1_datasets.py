@@ -1,0 +1,19 @@
+"""Table 1 — dataset description (measured per-sample stats, extrapolated)."""
+
+from conftest import run_once
+
+from repro.bench import table1_datasets, write_report
+
+
+def test_table1_datasets(benchmark):
+    text, data = run_once(benchmark, table1_datasets)
+    write_report("table1_datasets", text, data)
+    # Shape checks against the paper's Table 1.
+    aisd = data["aisd"]
+    assert 45 <= aisd["measured_mean_nodes"] <= 60  # paper: 52.4 nodes/graph
+    ratio = aisd["measured_mean_edges"] / aisd["measured_mean_nodes"]
+    assert 1.7 <= ratio <= 2.6  # paper: ~2 edges/node
+    # Smooth set ~20x larger files than discrete (paper: 1.5-1.6 TB vs ~80 GB).
+    smooth = data["aisd-ex-smooth"]["measured_mean_bytes"]
+    discrete = data["aisd-ex-discrete"]["measured_mean_bytes"]
+    assert smooth > 10 * discrete

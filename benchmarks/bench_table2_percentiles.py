@@ -1,0 +1,26 @@
+"""Table 2 — 50/95/99th percentile of graph loading latency."""
+
+from conftest import run_once
+
+from repro.bench import table2_percentiles, write_report
+
+
+def test_table2_percentiles(benchmark, profile):
+    text, data = run_once(benchmark, table2_percentiles, profile)
+    write_report("table2_percentiles", text, data)
+    multi_node = profile.perlmutter_nodes >= 4
+    for ds, methods in data.items():
+        if multi_node:
+            # Paper bands: DDStore medians 0.24-0.44 ms; PFF 2.2-2.8 ms.
+            assert 1.0e-4 <= methods["ddstore"][50] <= 8.0e-4, ds
+            assert 1.0e-3 <= methods["pff"][50] <= 5.0e-3, ds
+        # DDStore p99 stays sub-ms-ish while PFF tails into many ms.
+        assert methods["ddstore"][99] < methods["pff"][99], ds
+    if multi_node:
+        # The Ising special case: cache-resident CFF beats everyone at the
+        # median (paper: 0.19 ms) but DDStore has the shorter tail.
+        ising = data["ising"]
+        assert ising["cff"][50] < ising["ddstore"][50]
+        assert ising["ddstore"][99] < ising["cff"][99]
+        # For the big AISD sets, CFF is the slowest at the tail (Fig 6).
+        assert data["aisd"]["cff"][99] > data["aisd"]["pff"][99] * 0.8

@@ -1,0 +1,26 @@
+"""Shared benchmark fixtures.
+
+Each ``bench_*.py`` file regenerates one table or figure of the paper via
+the drivers in :mod:`repro.bench.experiments`.  Simulated experiment cells
+are cached per process, so figures sharing a configuration (Fig 4/5/6 and
+Table 2 all use the 64-GPU Perlmutter matrix) pay for it once.
+
+Scale is controlled by ``REPRO_BENCH_SCALE`` (tiny / small / paper); the
+default ``small`` keeps the Perlmutter cells at the paper's 64-GPU size
+and shrinks only the Summit and sweep configurations.  Reports (text +
+JSON) land in ``bench_results/`` (override with ``REPRO_RESULTS_DIR``).
+"""
+
+import pytest
+
+from repro.bench import current_profile
+
+
+@pytest.fixture(scope="session")
+def profile():
+    return current_profile()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a figure driver exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

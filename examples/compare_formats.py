@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Compare the three data-management methods on one configuration.
+
+Stages the same synthetic AISD-like dataset as per-object files (PFF), as
+an ADIOS-like container (CFF), and behind DDStore, then runs an identical
+globally-shuffled training epoch over each and prints a Table-2-style
+latency comparison plus the end-to-end speedup of Fig 4 — in miniature.
+
+Run:  python examples/compare_formats.py
+"""
+
+import numpy as np
+
+from repro.bench import ExperimentConfig, render_table, run_experiment
+
+MACHINE = "perlmutter"
+N_NODES = 4  # 16 GPUs
+DATASET = "aisd-ex-discrete"
+
+
+def main():
+    rows = []
+    throughputs = {}
+    for method in ("pff", "cff", "ddstore", "ddstore-p2p"):
+        cfg = ExperimentConfig(
+            machine=MACHINE,
+            n_nodes=N_NODES,
+            dataset=DATASET,
+            method=method,
+            batch_size=32,
+            steps_per_epoch=2,
+        )
+        result = run_experiment(cfg)
+        throughputs[method] = result.throughput
+        lat = result.latencies * 1e3
+        rows.append(
+            [
+                method,
+                f"{result.throughput:,.0f}",
+                f"{np.percentile(lat, 50):.3f}",
+                f"{np.percentile(lat, 95):.3f}",
+                f"{np.percentile(lat, 99):.3f}",
+                f"{result.preload_time * 1e3:.1f}",
+            ]
+        )
+    print(
+        render_table(
+            ["Method", "samples/s", "p50 (ms)", "p95 (ms)", "p99 (ms)", "preload (ms)"],
+            rows,
+            title=f"{DATASET} on {MACHINE}, {N_NODES} nodes, batch 32",
+        )
+    )
+    print(
+        f"\nDDStore end-to-end speedup: {throughputs['ddstore'] / throughputs['pff']:.2f}x vs PFF, "
+        f"{throughputs['ddstore'] / throughputs['cff']:.2f}x vs CFF"
+    )
+    print(
+        f"one-sided RMA vs two-sided p2p data plane: "
+        f"{throughputs['ddstore'] / throughputs['ddstore-p2p']:.2f}x"
+    )
+
+
+if __name__ == "__main__":
+    main()

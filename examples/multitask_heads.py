@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Multi-headed training: HydraGNN's signature multi-task design.
+
+One PNA trunk, two regression heads trained jointly — the HOMO-LUMO gap
+(scalar) and the discrete UV-vis spectrum (100 values) — over DDStore.
+This is the architecture HydraGNN exists for ("multi-task graph neural
+networks for simultaneous prediction of global and atomic properties").
+
+Run:  python examples/multitask_heads.py
+"""
+
+import numpy as np
+
+from repro.core import DataLoader, DDStore, DDStoreDataset, GeneratorSource
+from repro.gnn import AdamW, DistributedModel, HydraGNN, HydraGNNConfig, Trainer
+from repro.graphs import AtomicGraph, MoleculeGenerator, SpectrumGenerator
+from repro.hardware import PERLMUTTER
+from repro.mpi import run_world
+
+N_SAMPLES = 192
+EPOCHS = 5
+
+
+class MultiTaskGenerator:
+    """Molecules with a concatenated two-task target: [gap(1), spectrum(100)]."""
+
+    def __init__(self, n_samples: int, seed: int = 0) -> None:
+        self._mols = MoleculeGenerator(n_samples, seed=seed)
+        self._spectra = SpectrumGenerator(n_samples, mode="discrete", seed=seed)
+        self.n_samples = n_samples
+
+    def __len__(self) -> int:
+        return self.n_samples
+
+    def make(self, index: int) -> AtomicGraph:
+        mol = self._mols.make(index)
+        spec = self._spectra.make(index)
+        return AtomicGraph(
+            positions=mol.positions,
+            node_features=mol.node_features,
+            edge_index=mol.edge_index,
+            y=np.concatenate([mol.y, spec.y]),
+            sample_id=index,
+        )
+
+
+def rank_main(ctx):
+    gen = MultiTaskGenerator(N_SAMPLES, seed=3)
+    store = yield from DDStore.create(
+        ctx.comm, GeneratorSource(gen, ctx.world.machine)
+    )
+    model = HydraGNN(
+        HydraGNNConfig(
+            feature_dim=7,
+            head_dims=(1, 100),  # gap head + discrete-spectrum head
+            head_weights=(1.0, 0.2),  # balance the 100-dim head down
+            hidden_dim=24,
+            n_conv_layers=2,
+            n_fc_layers=2,
+        ),
+        seed=0,
+    )
+    dmodel = DistributedModel(model, ctx.comm)
+    yield from dmodel.broadcast_parameters()
+    loader = DataLoader(DDStoreDataset(store), ctx, batch_size=8, seed=0)
+    trainer = Trainer(
+        ctx, dmodel, loader, AdamW(model.params(), lr=2e-3), real_compute=True
+    )
+    losses = []
+    for epoch in range(EPOCHS):
+        report = yield from trainer.train_epoch(epoch)
+        losses.append(report.train_loss)
+        if ctx.rank == 0:
+            print(f"epoch {epoch}: weighted multi-task MSE {report.train_loss:.4f}")
+    return losses
+
+
+def main():
+    job = run_world(PERLMUTTER, n_nodes=1, rank_main=rank_main, seed=0)
+    losses = job.results[0]
+    assert losses[-1] < losses[0]
+    print(
+        f"\njoint loss {losses[0]:.4f} -> {losses[-1]:.4f}: one trunk, "
+        f"two property heads, trained in lock-step on {job.world.n_ranks} ranks"
+    )
+
+
+if __name__ == "__main__":
+    main()

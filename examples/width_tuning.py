@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Tune the DDStore *width*: replication vs memory vs fetch latency.
+
+The width ``w`` splits N ranks into N/w replica groups, each holding a
+full copy of the dataset (paper §3.1).  Narrow widths trade memory for
+locality: at w = ranks-per-node every fetch becomes an intra-node
+shared-memory load.  This example sweeps the width on a fixed allocation
+and prints the Fig 11 / Fig 12 / Table 3 story in one table.
+
+Run:  python examples/width_tuning.py
+"""
+
+import numpy as np
+
+from repro.bench import ExperimentConfig, render_table, run_experiment
+from repro.core import DDStoreConfig
+
+MACHINE = "perlmutter"
+N_NODES = 4  # 16 ranks
+
+
+def main():
+    n_ranks = 16
+    rows = []
+    for width in (2, 4, 8, 16):
+        cfg = ExperimentConfig(
+            machine=MACHINE,
+            n_nodes=N_NODES,
+            dataset="aisd-ex-discrete",
+            method="ddstore",
+            width=width,
+            batch_size=32,
+            steps_per_epoch=2,
+        )
+        result = run_experiment(cfg)
+        ds_cfg = DDStoreConfig(n_ranks=n_ranks, width=width)
+        lat = result.latencies * 1e3
+        rows.append(
+            [
+                width,
+                ds_cfg.n_replicas,
+                f"{result.throughput:,.0f}",
+                f"{np.percentile(lat, 50):.3f}",
+                f"{np.percentile(lat, 99):.3f}",
+                f"{ds_cfg.n_replicas}x dataset",
+            ]
+        )
+    print(
+        render_table(
+            ["Width", "Replicas", "samples/s", "p50 (ms)", "p99 (ms)", "Memory cost"],
+            rows,
+            title=f"DDStore width sweep — {MACHINE}, {N_NODES} nodes ({n_ranks} ranks)",
+        )
+    )
+    print(
+        "\nPaper shape: end-to-end throughput moves <10% with width, but the"
+        "\nmedian fetch latency collapses at small widths because fetches"
+        "\nbecome intra-node (Table 3: ~80-87% reduction at width=2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,328 @@
+"""Ablation studies beyond the paper's figures.
+
+Each driver isolates one design decision DESIGN.md calls out:
+
+* **data plane** — the paper chose one-sided MPI RMA over a two-sided
+  message-exchange design (§3.1); we run both.
+* **shuffle strategy** — global shuffling (DDStore's raison d'être) vs
+  classic sharding + local shuffle: loading cost and model quality.
+* **NVMe staging** — the burst-buffer recipe DDStore is an alternative
+  to, on the machine that has one (Summit).
+* **loader workers** — sensitivity of every method to loader-thread
+  concurrency (how much latency hiding buys).
+* **page cache** — CFF with warm vs cold caches (the Ising asymmetry).
+
+All return ``(text, data)`` like the figure drivers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+import numpy as np
+
+from .experiments import ScaleProfile, cached_experiment, current_profile
+from .harness import ExperimentConfig
+from .metrics import latency_percentiles
+from .reporting import render_table
+
+__all__ = [
+    "ablation_dataplane",
+    "ablation_shuffle",
+    "ablation_nvme",
+    "ablation_workers",
+    "ablation_cache",
+    "ablation_conv_policy",
+]
+
+
+def _base_cfg(profile: ScaleProfile, **kw) -> ExperimentConfig:
+    defaults = dict(
+        machine="perlmutter",
+        n_nodes=max(2, profile.perlmutter_nodes // 4),
+        dataset="aisd-ex-discrete",
+        batch_size=profile.batch_size,
+        steps_per_epoch=profile.steps_per_epoch,
+    )
+    defaults.update(kw)
+    return ExperimentConfig(**defaults)
+
+
+# ---------------------------------------------------------------------------
+# one-sided RMA vs two-sided message exchange
+# ---------------------------------------------------------------------------
+
+
+def ablation_dataplane(profile: Optional[ScaleProfile] = None):
+    profile = profile or current_profile()
+    rows = []
+    data = {}
+    for method, label in (("ddstore", "one-sided RMA"), ("ddstore-p2p", "two-sided p2p")):
+        r = cached_experiment(_base_cfg(profile, method=method))
+        pct = latency_percentiles(r.latencies)
+        rows.append(
+            [label, f"{r.throughput:,.0f}", f"{pct[50] * 1e3:.3f}", f"{pct[99] * 1e3:.3f}"]
+        )
+        data[method] = dict(throughput=r.throughput, p50=pct[50], p99=pct[99])
+    data["rma_speedup"] = data["ddstore"]["throughput"] / data["ddstore-p2p"]["throughput"]
+    text = render_table(
+        ["Data plane", "samples/s", "p50 (ms)", "p99 (ms)"],
+        rows,
+        title="Ablation — communication framework f: RMA vs two-sided (paper §3.1's rejected design)",
+    )
+    return text, data
+
+
+# ---------------------------------------------------------------------------
+# global vs local shuffle
+# ---------------------------------------------------------------------------
+
+
+def ablation_shuffle(profile: Optional[ScaleProfile] = None, seed: int = 0):
+    """Loading cost (modelled) and model quality (real training) of
+    global shuffling vs static sharding with local shuffle.
+
+    The quality run uses a *size-sorted* dataset so shards are non-IID —
+    the situation where local shuffling is known to bite (paper §2.2).
+    """
+    profile = profile or current_profile()
+    data = {}
+
+    # -- performance: fetch locality --------------------------------------
+    perf_rows = []
+    for shuffle in ("global", "local"):
+        r = cached_experiment(_base_cfg(profile, method="ddstore", shuffle=shuffle))
+        pct = latency_percentiles(r.latencies)
+        perf_rows.append(
+            [shuffle, f"{r.throughput:,.0f}", f"{pct[50] * 1e3:.3f}",
+             f"{r.phases.seconds['cpu_loading'] * 1e3:.1f}"]
+        )
+        data[f"perf_{shuffle}"] = dict(
+            throughput=r.throughput, p50=pct[50], loading=r.phases.seconds["cpu_loading"]
+        )
+
+    # -- quality: real training on a size-sorted dataset -------------------
+    from ..core import DataLoader, DDStore, DDStoreDataset, GeneratorSource
+    from ..gnn import AdamW, DistributedModel, HydraGNN, HydraGNNConfig, Trainer
+    from ..graphs import MoleculeGenerator
+    from ..hardware import TESTBOX
+    from ..mpi import run_world
+
+    n = 192
+    epochs = max(4, profile.convergence_epochs // 8)
+
+    class SortedGenerator:
+        """Molecules reordered by size: shard 0 gets the small ones."""
+
+        def __init__(self, n_samples: int, seed: int) -> None:
+            self._gen = MoleculeGenerator(n_samples, seed=seed)
+            sizes = [self._gen.make(i).n_nodes for i in range(n_samples)]
+            self._order = np.argsort(sizes, kind="stable")
+            self.n_samples = n_samples
+
+        def __len__(self) -> int:
+            return self.n_samples
+
+        def make(self, index: int):
+            return self._gen.make(int(self._order[index]))
+
+    def main(ctx, shuffle):
+        gen = SortedGenerator(n, seed)
+        src = GeneratorSource(gen, ctx.world.machine)
+        store = yield from DDStore.create(ctx.comm, src)
+        model = HydraGNN(
+            HydraGNNConfig(feature_dim=7, head_dims=(1,), hidden_dim=16, n_conv_layers=2),
+            seed=seed,
+        )
+        dmodel = DistributedModel(model, ctx.comm)
+        yield from dmodel.broadcast_parameters()
+
+        class TrainView:
+            def __init__(self, ds):
+                self.ds = ds
+                self.n_samples = int(n * 0.8)
+                self.stats_only = False
+
+            def fetch(self, indices):
+                return self.ds.fetch(indices)
+
+        loader = DataLoader(
+            TrainView(DDStoreDataset(store)), ctx, batch_size=8, shuffle=shuffle, seed=seed
+        )
+        trainer = Trainer(ctx, dmodel, loader, AdamW(model.params(), lr=2e-3), real_compute=True)
+        for epoch in range(epochs):
+            yield from trainer.train_epoch(epoch)
+        val_ids = np.arange(int(n * 0.8), n)[ctx.rank :: ctx.size]
+        local = 0.0
+        if len(val_ids):
+            local = yield from trainer.evaluate(val_ids)
+        num = yield from ctx.comm.allreduce(local * len(val_ids))
+        den = yield from ctx.comm.allreduce(float(len(val_ids)))
+        return num / max(den, 1.0)
+
+    quality = {}
+    for shuffle in ("global", "local"):
+        job = run_world(TESTBOX, 2, lambda c, s=shuffle: main(c, s), seed=seed)
+        quality[shuffle] = float(job.results[0])
+    data["quality_val_mse"] = quality
+
+    text = render_table(
+        ["Shuffle", "samples/s", "p50 (ms)", "CPU-load (ms)"],
+        perf_rows,
+        title="Ablation — shuffle strategy (performance; DDStore fetch path)",
+    ) + "\n\n" + render_table(
+        ["Shuffle", "val MSE (size-sorted dataset)"],
+        [[k, f"{v:.4f}"] for k, v in quality.items()],
+        title=f"Ablation — shuffle strategy (model quality after {epochs} epochs)",
+    )
+    return text, data
+
+
+# ---------------------------------------------------------------------------
+# NVMe staging vs DDStore
+# ---------------------------------------------------------------------------
+
+
+def ablation_nvme(profile: Optional[ScaleProfile] = None):
+    profile = profile or current_profile()
+    rows = []
+    data = {}
+    for method in ("pff", "ddstore", "nvme"):
+        cfg = _base_cfg(
+            profile,
+            machine="summit",
+            n_nodes=max(2, profile.summit_nodes // 4),
+            method=method,
+        )
+        r = cached_experiment(cfg)
+        pct = latency_percentiles(r.latencies)
+        rows.append(
+            [
+                method,
+                f"{r.throughput:,.0f}",
+                f"{pct[50] * 1e3:.3f}",
+                f"{r.preload_time * 1e3:.1f}",
+            ]
+        )
+        data[method] = dict(
+            throughput=r.throughput, p50=pct[50], preload=r.preload_time
+        )
+    text = render_table(
+        ["Method", "samples/s", "p50 (ms)", "setup (ms)"],
+        rows,
+        title="Ablation — node-local NVMe staging vs DDStore (Summit burst buffer)",
+    )
+    return text, data
+
+
+# ---------------------------------------------------------------------------
+# loader workers
+# ---------------------------------------------------------------------------
+
+
+def ablation_workers(profile: Optional[ScaleProfile] = None):
+    profile = profile or current_profile()
+    rows = []
+    data = {}
+    for workers in (1, 2, 4, 8):
+        row = [str(workers)]
+        for method in ("pff", "ddstore"):
+            r = cached_experiment(_base_cfg(profile, method=method, n_workers=workers))
+            row.append(f"{r.throughput:,.0f}")
+            data.setdefault(method, []).append(dict(workers=workers, throughput=r.throughput))
+        rows.append(row)
+    text = render_table(
+        ["Workers", "PFF (samp/s)", "DDStore (samp/s)"],
+        rows,
+        title="Ablation — loader-worker concurrency (latency hiding)",
+    )
+    return text, data
+
+
+# ---------------------------------------------------------------------------
+# page-cache state
+# ---------------------------------------------------------------------------
+
+
+def ablation_cache(profile: Optional[ScaleProfile] = None):
+    profile = profile or current_profile()
+    rows = []
+    data = {}
+    for ds in ("ising", "aisd"):
+        for warm in (True, False):
+            r = cached_experiment(
+                _base_cfg(profile, method="cff", dataset=ds, warm_page_cache=warm)
+            )
+            pct = latency_percentiles(r.latencies)
+            rows.append(
+                [f"{ds} / {'warm' if warm else 'cold'}", f"{r.throughput:,.0f}",
+                 f"{pct[50] * 1e3:.3f}", f"{pct[99] * 1e3:.3f}"]
+            )
+            data.setdefault(ds, {})["warm" if warm else "cold"] = dict(
+                throughput=r.throughput, p50=pct[50]
+            )
+    text = render_table(
+        ["CFF config", "samples/s", "p50 (ms)", "p99 (ms)"],
+        rows,
+        title="Ablation — OS page cache state for containerized reads",
+    )
+    return text, data
+
+
+# ---------------------------------------------------------------------------
+# message-passing policy (HydraGNN's pluggable conv layers)
+# ---------------------------------------------------------------------------
+
+
+def ablation_conv_policy(profile: Optional[ScaleProfile] = None, seed: int = 0):
+    """Train the same task with each message-passing policy (PNA/GIN/SAGE).
+
+    HydraGNN's object-oriented layer design (paper §2.1) is exercised by
+    swapping the conv type; we compare parameter counts and achieved
+    training loss on the Ising energy task.
+    """
+    from ..core import DataLoader, DDStore, DDStoreDataset, GeneratorSource
+    from ..gnn import AdamW, CONV_TYPES, DistributedModel, HydraGNN, HydraGNNConfig, Trainer
+    from ..graphs import IsingGenerator
+    from ..hardware import TESTBOX
+    from ..mpi import run_world
+
+    profile = profile or current_profile()
+    epochs = max(8, profile.convergence_epochs // 8)
+
+    def main(ctx, conv_type):
+        src = GeneratorSource(IsingGenerator(128, seed=seed), ctx.world.machine)
+        store = yield from DDStore.create(ctx.comm, src)
+        model = HydraGNN(
+            HydraGNNConfig(
+                feature_dim=1, head_dims=(1,), hidden_dim=16, n_conv_layers=2,
+                conv_type=conv_type,
+            ),
+            seed=seed,
+        )
+        dmodel = DistributedModel(model, ctx.comm)
+        yield from dmodel.broadcast_parameters()
+        loader = DataLoader(DDStoreDataset(store), ctx, batch_size=8, seed=seed)
+        trainer = Trainer(ctx, dmodel, loader, AdamW(model.params(), lr=3e-3), real_compute=True)
+        first = last = None
+        for epoch in range(epochs):
+            report = yield from trainer.train_epoch(epoch)
+            first = report.train_loss if first is None else first
+            last = report.train_loss
+        return dict(first=first, last=last, params=model.n_params())
+
+    rows = []
+    data = {}
+    for conv_type in CONV_TYPES:
+        out = run_world(TESTBOX, 2, lambda c, ct=conv_type: main(c, ct), seed=seed).results[0]
+        rows.append(
+            [conv_type, f"{out['params']:,}", f"{out['first']:.4f}", f"{out['last']:.4f}"]
+        )
+        data[conv_type] = out
+    text = render_table(
+        ["Policy", "params", f"loss@epoch0", f"loss@epoch{epochs - 1}"],
+        rows,
+        title=f"Ablation — message-passing policy ({epochs} epochs, Ising energy)",
+    )
+    return text, data

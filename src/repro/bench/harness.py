@@ -1,0 +1,360 @@
+"""Experiment harness: stage a dataset, run a training job, collect metrics.
+
+One :class:`ExperimentConfig` describes a single cell of the paper's
+evaluation matrix — machine x node count x dataset x data-management
+method (PFF / CFF / DDStore) x batch/width settings.  :func:`run_experiment`
+simulates it end to end and returns an :class:`ExperimentResult` with the
+quantities the figures plot: global training throughput, per-phase time
+breakdown, per-graph loading latencies, preload cost, and MPI-call time.
+
+Scaled-down sizing: sample counts are reduced (the harness sizes the
+dataset to exactly cover ``ranks x batch x steps``), per-sample bytes stay
+honest, and container files carry a ``logical_scale`` so page-cache
+behaviour matches the paper's full-size datasets (Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+import numpy as np
+
+from ..core import (
+    DataLoader,
+    DDStore,
+    DDStoreDataset,
+    FileDataset,
+    ReaderSource,
+)
+from ..gnn import AdamW, DistributedModel, HydraGNN, HydraGNNConfig, PhaseTimes, Trainer
+from ..graphs.datasets import DATASETS
+from ..hardware import get_machine
+from ..mpi import MPIStats, run_world
+from ..hardware.nvme import NVMeDevice
+from ..storage import CFFReader, PFFReader, VirtualFS
+from ..storage.staging import stage_to_nvme
+from ..storage.formats import _cff_index_path, _cff_subfile_path, _pff_path, CFFIndex
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "run_experiment",
+    "packed_blobs",
+    "clear_blob_cache",
+]
+
+METHODS = ("pff", "cff", "ddstore", "ddstore-p2p", "nvme")
+
+# ---------------------------------------------------------------------------
+# packed-sample cache (samples are deterministic per (dataset, seed, index),
+# so one growing blob list serves every scale point and method)
+# ---------------------------------------------------------------------------
+
+_BLOB_CACHE: dict[tuple[str, int], list[bytes]] = {}
+
+
+def packed_blobs(dataset: str, seed: int, n: int) -> list[bytes]:
+    """First ``n`` packed samples of a registry dataset (cached)."""
+    from ..storage import pack_graph
+
+    key = (dataset, seed)
+    blobs = _BLOB_CACHE.setdefault(key, [])
+    if len(blobs) < n:
+        gen = DATASETS[dataset].make(n, seed)
+        for i in range(len(blobs), n):
+            blobs.append(pack_graph(gen.make(i)))
+    return blobs[:n]
+
+
+def clear_blob_cache() -> None:
+    _BLOB_CACHE.clear()
+
+
+# ---------------------------------------------------------------------------
+# configuration / result containers
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    machine: str = "perlmutter"
+    n_nodes: int = 16
+    dataset: str = "aisd-ex-discrete"
+    method: str = "ddstore"
+    batch_size: int = 128
+    epochs: int = 1
+    steps_per_epoch: int = 2
+    width: Optional[int] = None  # DDStore width (None = N, paper default)
+    shuffle: str = "global"
+    seed: int = 0
+    stats_only: bool = True  # performance mode (no numerics)
+    record_latencies: bool = True
+    warm_page_cache: bool = True  # emulate steady-state epochs (>1st)
+    n_samples: Optional[int] = None  # default: ranks * batch * steps
+    jitter_sigma: float = 0.18
+    hidden_dim: int = 200  # paper architecture; reduce for real-compute runs
+    n_workers: int = 1  # effective concurrent loader workers per rank
+
+    def __post_init__(self) -> None:
+        if self.method not in METHODS:
+            raise ValueError(f"method must be one of {METHODS}, got {self.method!r}")
+        if self.dataset not in DATASETS:
+            raise ValueError(f"unknown dataset {self.dataset!r}")
+        if self.batch_size < 1 or self.epochs < 1 or self.steps_per_epoch < 1:
+            raise ValueError("batch_size, epochs, steps_per_epoch must be positive")
+
+    @property
+    def n_ranks(self) -> int:
+        return self.n_nodes * get_machine(self.machine).gpus_per_node
+
+    def resolved_samples(self) -> int:
+        if self.n_samples is not None:
+            return self.n_samples
+        return self.n_ranks * self.batch_size * self.steps_per_epoch
+
+    def with_method(self, method: str) -> "ExperimentConfig":
+        return replace(self, method=method)
+
+
+@dataclass
+class ExperimentResult:
+    config: ExperimentConfig
+    elapsed: float  # virtual seconds of the measured epochs (slowest rank)
+    total_samples: int  # samples processed across all ranks
+    phases: PhaseTimes  # mean across ranks
+    latencies: np.ndarray  # per-graph loading latency, all ranks pooled
+    preload_time: float  # virtual seconds of setup (slowest rank)
+    mpi_stats: MPIStats  # merged across ranks
+    train_losses: list = field(default_factory=list)
+
+    @property
+    def throughput(self) -> float:
+        """Global training throughput in samples per virtual second."""
+        return self.total_samples / self.elapsed if self.elapsed > 0 else 0.0
+
+
+# ---------------------------------------------------------------------------
+# staging helpers (write blobs into the shared VFS without re-generating)
+# ---------------------------------------------------------------------------
+
+
+def _stage_pff(vfs: VirtualFS, root: str, blobs: list[bytes]) -> None:
+    for i, blob in enumerate(blobs):
+        vfs.create(_pff_path(root, i), blob)
+
+
+def _stage_cff(
+    vfs: VirtualFS, root: str, blobs: list[bytes], n_subfiles: int, logical_scale: float
+) -> None:
+    n_subfiles = max(1, min(n_subfiles, len(blobs)))
+    for k in range(n_subfiles):
+        vfs.create(_cff_subfile_path(root, k), logical_scale=logical_scale)
+    subfiles = np.empty(len(blobs), np.int32)
+    offsets = np.empty(len(blobs), np.int64)
+    sizes = np.empty(len(blobs), np.int64)
+    for i, blob in enumerate(blobs):
+        k = i % n_subfiles
+        subfiles[i] = k
+        offsets[i] = vfs.append(_cff_subfile_path(root, k), blob)
+        sizes[i] = len(blob)
+    index = CFFIndex(subfile=subfiles, offset=offsets, size=sizes, n_subfiles=n_subfiles)
+    vfs.create(_cff_index_path(root), index.to_bytes())
+
+
+def _logical_scale(cfg: ExperimentConfig, blobs: list[bytes]) -> float:
+    """Make the scaled container *time* like the paper's full-size file."""
+    actual = sum(len(b) for b in blobs)
+    paper = DATASETS[cfg.dataset].paper_cff_bytes
+    return max(1.0, paper / max(actual, 1))
+
+
+def _warm_caches(world, root: str) -> None:
+    """Mark the dataset's blocks resident in every node's page cache — the
+    steady state after the first epoch of a multi-epoch run (the paper
+    measures three).  Files whose *logical* size exceeds the cache are
+    skipped: they cannot stay resident (the AISD-scale containers), which
+    is exactly the asymmetry that makes CFF fast on Ising only (Table 2).
+    """
+    caches = world.pfs.caches
+    if not caches:
+        return
+    capacity_bytes = caches[0].capacity_blocks * caches[0].block_bytes
+    paths = world.vfs.listdir(root)
+    total_logical = sum(world.vfs.stat(p).logical_size for p in paths)
+    if total_logical > capacity_bytes:
+        return  # the dataset cannot stay resident (the AISD-scale case)
+    for path in paths:
+        f = world.vfs.stat(path)
+        if path.endswith(".bin") and "data." in path:
+            # CFF subfile: warm the blocks its samples actually occupy.
+            index = CFFIndex.from_bytes(bytes(world.vfs.stat(_cff_index_path(root)).data))
+            k = int(path.rsplit(".", 2)[1])
+            sel = index.subfile == k
+            block = caches[0].block_bytes
+            blocks = np.unique(
+                (index.offset[sel].astype(np.float64) * f.logical_scale).astype(np.int64)
+                // block
+            )
+            for cache in caches:
+                for b in blocks:
+                    cache.prefetch(f.file_id, int(b) * block, 1)
+        else:
+            for cache in caches:
+                cache.prefetch(f.file_id, 0, 1)
+
+
+# ---------------------------------------------------------------------------
+# the experiment body (runs as every rank's coroutine)
+# ---------------------------------------------------------------------------
+
+
+def _rank_main(ctx, cfg: ExperimentConfig, blobs: list[bytes]):
+    machine = ctx.world.machine
+    spec = DATASETS[cfg.dataset]
+    vfs = ctx.world.vfs
+    root = f"{cfg.dataset}-{cfg.method}"
+
+    # -- stage the dataset on the shared filesystem (untimed setup) --------
+    if ctx.rank == 0:
+        if cfg.method == "pff":
+            _stage_pff(vfs, root, blobs)
+        else:  # cff and both ddstore variants preload from a container
+            # ADIOS subfile count is fixed by the original data-production
+            # run (its aggregator count), not by how many ranks later read
+            # it — a key reason container reads contend at scale.
+            _stage_cff(vfs, root, blobs, n_subfiles=8, logical_scale=_logical_scale(cfg, blobs))
+        if cfg.warm_page_cache and cfg.method in ("pff", "cff"):
+            _warm_caches(ctx.world, root)
+    yield from ctx.comm.barrier()
+
+    # -- build the data pipeline -------------------------------------------
+    t_setup = ctx.now
+    store = None
+    if cfg.method == "pff":
+        reader = PFFReader(vfs, root, len(blobs), machine)
+        dataset = FileDataset(reader, ctx, stats_only=cfg.stats_only, n_workers=cfg.n_workers)
+    elif cfg.method == "cff":
+        reader = CFFReader(vfs, root, machine)
+        if ctx.rank % machine.gpus_per_node == 0:
+            reader.load_index_timed(ctx.node_index, ctx.now)
+        dataset = FileDataset(reader, ctx, stats_only=cfg.stats_only, n_workers=cfg.n_workers)
+    elif cfg.method == "nvme":
+        # Conventional burst-buffer recipe: every node stages the whole
+        # dataset from the PFS to its local SSD once, then reads locally.
+        if machine.nvme is None:
+            raise ValueError(f"machine {machine.name!r} has no node-local NVMe")
+        shared = ctx.world.__dict__.setdefault("_nvme_readers", {})
+        if ctx.rank % machine.gpus_per_node == 0:
+            device = NVMeDevice(ctx.engine, machine.nvme, name=f"nvme[{ctx.node_index}]")
+            cff = CFFReader(vfs, root, machine)
+            logical = int(sum(len(b) for b in blobs) * _logical_scale(cfg, blobs))
+            staged, t_done = stage_to_nvme(
+                cff, device, ctx.node_index, ctx.now, logical_bytes=logical
+            )
+            shared[ctx.node_index] = staged
+            yield ctx.engine.timeout(max(0.0, t_done - ctx.now))
+        yield from ctx.comm.barrier()
+        dataset = FileDataset(
+            shared[ctx.node_index], ctx, stats_only=cfg.stats_only, n_workers=cfg.n_workers
+        )
+    else:
+        reader = CFFReader(vfs, root, machine)
+        framework = "p2p" if cfg.method == "ddstore-p2p" else "mpi-rma"
+        store = yield from DDStore.create(
+            ctx.comm,
+            ReaderSource(reader),
+            width=cfg.width,
+            framework=framework,
+            record_latencies=cfg.record_latencies,
+        )
+        dataset = DDStoreDataset(store, stats_only=cfg.stats_only, n_workers=cfg.n_workers)
+    preload_time = ctx.now - t_setup
+
+    # -- model + trainer ------------------------------------------------------
+    sample0 = blobs[0]
+    from ..storage import SampleStats
+
+    s0 = SampleStats.from_blob(sample0)
+    model_cfg = HydraGNNConfig(
+        feature_dim=s0.feature_dim,
+        head_dims=(spec.output_dim,),
+        hidden_dim=cfg.hidden_dim,
+    )
+    model = HydraGNN(model_cfg, seed=cfg.seed)
+    dmodel = DistributedModel(model, ctx.comm)
+    if not cfg.stats_only:
+        yield from dmodel.broadcast_parameters()
+    loader = DataLoader(
+        dataset,
+        ctx,
+        batch_size=cfg.batch_size,
+        shuffle=cfg.shuffle,
+        seed=cfg.seed,
+        steps_per_epoch=cfg.steps_per_epoch,
+    )
+    optimizer = AdamW(model.params(), lr=1e-3)
+    trainer = Trainer(ctx, dmodel, loader, optimizer, real_compute=not cfg.stats_only)
+
+    # -- measured epochs -------------------------------------------------------
+    yield from ctx.comm.barrier()
+    t0 = ctx.now
+    phases = PhaseTimes()
+    latencies = []
+    losses = []
+    n_samples = 0
+    for epoch in range(cfg.epochs):
+        report = yield from trainer.train_epoch(epoch)
+        phases = phases.merged(report.phases)
+        latencies.append(report.sample_latencies)
+        n_samples += report.n_samples
+        if report.train_loss is not None:
+            losses.append(report.train_loss)
+    if store is not None and cfg.method == "ddstore-p2p":
+        yield from store.shutdown()
+    elapsed = ctx.now - t0
+    return dict(
+        elapsed=elapsed,
+        n_samples=n_samples,
+        phases=phases,
+        latencies=np.concatenate(latencies) if latencies else np.empty(0),
+        preload=preload_time,
+        losses=losses,
+    )
+
+
+def run_experiment(cfg: ExperimentConfig) -> ExperimentResult:
+    """Simulate one evaluation cell and aggregate across ranks."""
+    import gc
+
+    gc.collect()  # drop the previous cell's world (VFS files, chunk buffers)
+    blobs = packed_blobs(cfg.dataset, cfg.seed, cfg.resolved_samples())
+    machine = get_machine(cfg.machine)
+    job = run_world(
+        machine,
+        cfg.n_nodes,
+        _rank_main,
+        cfg,
+        blobs,
+        seed=cfg.seed,
+        jitter_sigma=cfg.jitter_sigma,
+    )
+    per_rank = job.results
+    elapsed = max(r["elapsed"] for r in per_rank)
+    total_samples = sum(r["n_samples"] for r in per_rank)
+    mean_phases = PhaseTimes()
+    for r in per_rank:
+        mean_phases = mean_phases.merged(r["phases"])
+    for k in mean_phases.seconds:
+        mean_phases.seconds[k] /= len(per_rank)
+    latencies = np.concatenate([r["latencies"] for r in per_rank])
+    return ExperimentResult(
+        config=cfg,
+        elapsed=elapsed,
+        total_samples=total_samples,
+        phases=mean_phases,
+        latencies=latencies,
+        preload_time=max(r["preload"] for r in per_rank),
+        mpi_stats=job.merged_stats(),
+        train_losses=per_rank[0]["losses"],
+    )

@@ -1,0 +1,150 @@
+"""Command-line interface: regenerate any table, figure, or ablation.
+
+Usage::
+
+    python -m repro list                      # what can be regenerated
+    python -m repro run fig4 table2           # specific experiments
+    python -m repro run all [--scale small]   # the whole evaluation
+    python -m repro machines                  # calibrated machine specs
+    python -m repro datasets [--samples 100]  # dataset statistics
+
+Reports (text + JSON) are written to ``bench_results/`` (override with
+``REPRO_RESULTS_DIR``); scale via ``--scale`` or ``REPRO_BENCH_SCALE``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Callable
+
+from .bench import (
+    current_profile,
+    fig4_speedup,
+    fig5_breakdown,
+    fig6_latency_cdf,
+    fig7_profile,
+    fig8_scaling,
+    fig9_function_breakdown,
+    fig10_global_batch,
+    fig11_width,
+    fig12_width_cdf,
+    fig13_convergence,
+    table1_datasets,
+    table2_percentiles,
+    table3_width_median,
+    write_report,
+)
+from .bench.ablations import (
+    ablation_cache,
+    ablation_conv_policy,
+    ablation_dataplane,
+    ablation_nvme,
+    ablation_shuffle,
+    ablation_workers,
+)
+
+EXPERIMENTS: dict[str, tuple[Callable, str]] = {
+    "table1": (table1_datasets, "dataset description (paper Table 1)"),
+    "fig4": (fig4_speedup, "normalized end-to-end speedup"),
+    "fig5": (fig5_breakdown, "training time breakdown, 64 GPUs Perlmutter"),
+    "fig6": (fig6_latency_cdf, "graph loading latency CDF"),
+    "table2": (table2_percentiles, "loading latency percentiles"),
+    "fig7": (fig7_profile, "Score-P-style profile"),
+    "fig8": (fig8_scaling, "scaling, fixed per-GPU batch"),
+    "fig9": (fig9_function_breakdown, "function durations across scales"),
+    "fig10": (fig10_global_batch, "scaling, fixed global batch"),
+    "fig11": (fig11_width, "width parameter sweep"),
+    "fig12": (fig12_width_cdf, "width CDF, default vs width=2"),
+    "table3": (table3_width_median, "width median latency reduction"),
+    "fig13": (fig13_convergence, "training convergence (real numerics)"),
+    "ablation-dataplane": (ablation_dataplane, "RMA vs two-sided p2p"),
+    "ablation-shuffle": (ablation_shuffle, "global vs local shuffle"),
+    "ablation-nvme": (ablation_nvme, "NVMe staging vs DDStore"),
+    "ablation-workers": (ablation_workers, "loader-worker sensitivity"),
+    "ablation-cache": (ablation_cache, "page-cache warm vs cold"),
+    "ablation-conv": (ablation_conv_policy, "message-passing policy PNA/GIN/SAGE"),
+}
+
+# Drivers that take no profile argument.
+_NO_PROFILE = {"table1"}
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    width = max(len(k) for k in EXPERIMENTS)
+    print("available experiments:\n")
+    for key, (_fn, desc) in EXPERIMENTS.items():
+        print(f"  {key.ljust(width)}  {desc}")
+    print("\nrun with:  python -m repro run <name> [<name> ...] | all")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.scale:
+        os.environ["REPRO_BENCH_SCALE"] = args.scale
+    profile = current_profile()
+    names = list(EXPERIMENTS) if "all" in args.names else args.names
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+        print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
+        return 2
+    for name in names:
+        fn, desc = EXPERIMENTS[name]
+        print(f"== {name}: {desc} (scale profile: {profile.name}) ==")
+        text, data = fn() if name in _NO_PROFILE else fn(profile)
+        write_report(name.replace("-", "_"), text, data)
+    return 0
+
+
+def _cmd_machines(_args: argparse.Namespace) -> int:
+    from .hardware import MACHINES
+
+    for name, spec in MACHINES.items():
+        print(f"{name}:")
+        print(f"  GPUs/node            {spec.gpus_per_node} x {spec.gpu.name}")
+        print(f"  DRAM/node            {spec.mem_per_node_bytes / 2**30:.0f} GiB")
+        print(f"  NIC                  {spec.nic.bandwidth_Bps / 1e9:.0f} GB/s, {spec.nic.latency_s * 1e6:.1f} us")
+        print(f"  PFS                  {spec.pfs.name}: {spec.pfs.n_osts} OSTs, {spec.pfs.n_metadata_servers} MDS")
+        nvme = "none" if spec.nvme is None else f"{spec.nvme.capacity_bytes / 1e12:.1f} TB/node"
+        print(f"  node-local NVMe      {nvme}")
+        print(f"  RMA software path    {spec.rma_software_overhead_s * 1e6:.0f} us remote / {spec.rma_software_local_s * 1e6:.0f} us shared-mem")
+        print()
+    return 0
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    text, _data = table1_datasets(sample_n=args.samples)
+    print(text)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="DDStore reproduction: regenerate the paper's evaluation.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments").set_defaults(fn=_cmd_list)
+
+    run = sub.add_parser("run", help="run one or more experiments")
+    run.add_argument("names", nargs="+", help="experiment names, or 'all'")
+    run.add_argument("--scale", choices=["tiny", "small", "paper"], default=None)
+    run.set_defaults(fn=_cmd_run)
+
+    sub.add_parser("machines", help="show calibrated machine models").set_defaults(
+        fn=_cmd_machines
+    )
+
+    ds = sub.add_parser("datasets", help="dataset statistics (Table 1)")
+    ds.add_argument("--samples", type=int, default=100)
+    ds.set_defaults(fn=_cmd_datasets)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,41 @@
+"""DDStore core: the paper's distributed in-memory data store."""
+
+from .chunking import ChunkLayout, balanced_partition
+from .config import DDStoreConfig, FRAMEWORKS
+from .loader import (
+    BatchStats,
+    DataLoader,
+    DDStoreDataset,
+    FetchResult,
+    FileDataset,
+    LoadedBatch,
+    SimDataset,
+)
+from .preloader import DataSource, GeneratorSource, PreloadResult, ReaderSource
+from .registry import ChunkRegistry
+from .sampler import GlobalShuffleSampler, LocalShuffleSampler, iter_batches
+from .store import DDStore, FetchStats
+
+__all__ = [
+    "DDStoreConfig",
+    "FRAMEWORKS",
+    "ChunkLayout",
+    "balanced_partition",
+    "ChunkRegistry",
+    "DataSource",
+    "ReaderSource",
+    "GeneratorSource",
+    "PreloadResult",
+    "DDStore",
+    "FetchStats",
+    "GlobalShuffleSampler",
+    "LocalShuffleSampler",
+    "iter_batches",
+    "SimDataset",
+    "BatchStats",
+    "DDStoreDataset",
+    "FileDataset",
+    "FetchResult",
+    "LoadedBatch",
+    "DataLoader",
+]

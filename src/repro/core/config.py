@@ -1,0 +1,71 @@
+"""DDStore configuration: the DS = (c, w, f) triple of paper §3.1.
+
+* ``c`` — number of chunks the dataset is striped into (derived:
+  ``c = T / w`` samples per chunk over each replica group's members),
+* ``w`` — the store *width*: ranks per replica group.  ``N/w`` replica
+  groups each hold a full copy of the dataset.  Width = N (one replica)
+  is the default, exactly as in the paper,
+* ``f`` — the communication framework.  The paper ships MPI RMA and
+  discusses rejected alternatives; we implement ``mpi-rma`` plus a
+  two-sided ``p2p`` data plane as the ablation of §3.1's rejected design
+  (message exchange requiring the target's involvement).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DDStoreConfig", "FRAMEWORKS"]
+
+FRAMEWORKS = ("mpi-rma", "p2p")
+
+
+@dataclass(frozen=True)
+class DDStoreConfig:
+    """Validated DDStore parameters for a given job size.
+
+    ``width=None`` means the paper default ``w = N`` (single replica
+    striped over all ranks).
+    """
+
+    n_ranks: int
+    width: int | None = None
+    framework: str = "mpi-rma"
+
+    def __post_init__(self) -> None:
+        if self.n_ranks < 1:
+            raise ValueError("n_ranks must be positive")
+        w = self.effective_width
+        if w < 1 or w > self.n_ranks:
+            raise ValueError(
+                f"width {w} must be in [1, n_ranks={self.n_ranks}]"
+            )
+        if self.n_ranks % w != 0:
+            raise ValueError(
+                f"width {w} must divide the number of ranks {self.n_ranks} "
+                "(every replica group must be complete)"
+            )
+        if self.framework not in FRAMEWORKS:
+            raise ValueError(
+                f"unknown framework {self.framework!r}; options: {FRAMEWORKS}"
+            )
+
+    @property
+    def effective_width(self) -> int:
+        return self.n_ranks if self.width is None else self.width
+
+    @property
+    def n_replicas(self) -> int:
+        """r = N / w (paper eq. 2)."""
+        return self.n_ranks // self.effective_width
+
+    def group_of_rank(self, rank: int) -> int:
+        """Replica group index of a rank (contiguous blocks of w ranks,
+        keeping groups node-aligned for cheap intra-group fetches)."""
+        if not 0 <= rank < self.n_ranks:
+            raise ValueError(f"rank {rank} out of range")
+        return rank // self.effective_width
+
+    def group_rank(self, rank: int) -> int:
+        """This rank's position inside its replica group."""
+        return rank % self.effective_width

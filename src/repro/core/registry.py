@@ -1,0 +1,92 @@
+"""Data registry: the global index of chunks (paper §3.2, component 2).
+
+After preloading, every group member holds its chunk as one contiguous
+byte buffer of variable-size packed samples.  The registry — replicated on
+every member after a collective exchange — maps a global sample id to
+``(owner group-rank, byte offset, byte size)`` so the data loader can
+issue one-sided reads without touching the target process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .chunking import ChunkLayout
+
+__all__ = ["ChunkRegistry"]
+
+
+@dataclass
+class ChunkRegistry:
+    """Replicated location table of every sample in one replica group."""
+
+    layout: ChunkLayout
+    offsets: list[np.ndarray]  # per group-rank: (chunk_size + 1,) byte offsets
+
+    def __post_init__(self) -> None:
+        if len(self.offsets) != self.layout.width:
+            raise ValueError(
+                f"registry needs one offset table per member: "
+                f"{len(self.offsets)} != {self.layout.width}"
+            )
+        for r, off in enumerate(self.offsets):
+            expect = self.layout.chunk_size(r) + 1
+            if off.shape != (expect,):
+                raise ValueError(
+                    f"offset table of member {r} has shape {off.shape}, "
+                    f"expected ({expect},)"
+                )
+            if off.size and (off[0] != 0 or np.any(np.diff(off) < 0)):
+                raise ValueError(f"offset table of member {r} is not monotone from 0")
+
+    @classmethod
+    def from_sample_sizes(
+        cls, layout: ChunkLayout, sizes_by_member: list[np.ndarray]
+    ) -> "ChunkRegistry":
+        offsets = []
+        for r, sizes in enumerate(sizes_by_member):
+            sizes = np.asarray(sizes, dtype=np.int64)
+            if sizes.size != layout.chunk_size(r):
+                raise ValueError(
+                    f"member {r} reported {sizes.size} sample sizes for a "
+                    f"chunk of {layout.chunk_size(r)}"
+                )
+            table = np.zeros(sizes.size + 1, dtype=np.int64)
+            np.cumsum(sizes, out=table[1:])
+            offsets.append(table)
+        return cls(layout=layout, offsets=offsets)
+
+    # -- lookups ---------------------------------------------------------
+    def locate(self, global_index: int) -> tuple[int, int, int]:
+        """(owner group-rank, byte offset, byte size) of one sample."""
+        owner = self.layout.owner_of(global_index)
+        local = global_index - int(self.layout.bounds[owner])
+        table = self.offsets[owner]
+        return owner, int(table[local]), int(table[local + 1] - table[local])
+
+    def locate_batch(
+        self, global_indices: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorised :meth:`locate` over an index array."""
+        idx = np.asarray(global_indices, dtype=np.int64)
+        owners = self.layout.owner_of(idx)
+        owners = np.atleast_1d(owners)
+        locals_ = idx - self.layout.bounds[owners]
+        offs = np.empty(idx.size, dtype=np.int64)
+        sizes = np.empty(idx.size, dtype=np.int64)
+        for r in np.unique(owners):
+            sel = owners == r
+            table = self.offsets[int(r)]
+            li = locals_[sel]
+            offs[sel] = table[li]
+            sizes[sel] = table[li + 1] - table[li]
+        return owners, offs, sizes
+
+    def buffer_bytes(self, group_rank: int) -> int:
+        return int(self.offsets[group_rank][-1])
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(int(t[-1]) for t in self.offsets)

@@ -1,0 +1,90 @@
+"""Distributed samplers: who trains on which samples, in what order.
+
+Two strategies from the paper's §2.2:
+
+* :class:`GlobalShuffleSampler` — a fresh global permutation every epoch,
+  sliced across ranks.  Maintains model generality (every rank sees fresh
+  data each epoch) but requires fetching arbitrary remote samples: the
+  access pattern DDStore exists to serve.
+* :class:`LocalShuffleSampler` — classic data sharding: each rank owns a
+  static contiguous shard and only shuffles within it.  Cheap (all
+  accesses local) but known to hurt generalisation and to require
+  re-sharding whenever the GPU count changes.
+
+Both drop the tail so every rank sees the same number of samples per
+epoch, which distributed data parallelism requires for its lock-step
+collectives.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..sim.rng import stream
+from .chunking import balanced_partition
+
+__all__ = ["GlobalShuffleSampler", "LocalShuffleSampler", "iter_batches"]
+
+
+class GlobalShuffleSampler:
+    """Epoch-seeded global permutation, partitioned evenly across ranks."""
+
+    def __init__(self, n_samples: int, n_ranks: int, rank: int, seed: int = 0) -> None:
+        if not 0 <= rank < n_ranks:
+            raise ValueError(f"rank {rank} out of range for {n_ranks} ranks")
+        if n_samples < n_ranks:
+            raise ValueError(
+                f"cannot shard {n_samples} samples over {n_ranks} ranks"
+            )
+        self.n_samples = n_samples
+        self.n_ranks = n_ranks
+        self.rank = rank
+        self.seed = seed
+        self.per_rank = n_samples // n_ranks  # tail dropped
+
+    def epoch_indices(self, epoch: int) -> np.ndarray:
+        """This rank's sample ids for the given epoch (same permutation on
+        every rank thanks to the shared (seed, epoch) RNG key)."""
+        perm = stream("global-shuffle", self.seed, epoch).permutation(self.n_samples)
+        lo = self.rank * self.per_rank
+        return perm[lo : lo + self.per_rank]
+
+
+class LocalShuffleSampler:
+    """Static contiguous shard per rank, shuffled locally each epoch."""
+
+    def __init__(self, n_samples: int, n_ranks: int, rank: int, seed: int = 0) -> None:
+        if not 0 <= rank < n_ranks:
+            raise ValueError(f"rank {rank} out of range for {n_ranks} ranks")
+        if n_samples < n_ranks:
+            raise ValueError(
+                f"cannot shard {n_samples} samples over {n_ranks} ranks"
+            )
+        self.n_samples = n_samples
+        self.n_ranks = n_ranks
+        self.rank = rank
+        self.seed = seed
+        bounds = balanced_partition(n_samples, n_ranks)
+        self._lo, self._hi = int(bounds[rank]), int(bounds[rank + 1])
+        self.per_rank = n_samples // n_ranks  # equalised with tail drop
+
+    @property
+    def shard_range(self) -> tuple[int, int]:
+        return self._lo, self._hi
+
+    def epoch_indices(self, epoch: int) -> np.ndarray:
+        shard = np.arange(self._lo, self._hi, dtype=np.int64)
+        order = stream("local-shuffle", self.seed, self.rank, epoch).permutation(
+            shard.size
+        )
+        return shard[order][: self.per_rank]
+
+
+def iter_batches(indices: np.ndarray, batch_size: int, drop_last: bool = True):
+    """Split an epoch's index stream into mini-batches."""
+    if batch_size < 1:
+        raise ValueError("batch_size must be positive")
+    n = indices.size
+    stop = (n // batch_size) * batch_size if drop_last else n
+    for lo in range(0, stop, batch_size):
+        yield indices[lo : lo + batch_size]

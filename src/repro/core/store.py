@@ -1,0 +1,450 @@
+"""DDStore: the distributed in-memory data store (paper §3).
+
+Construction (collective, via :meth:`DDStore.create`):
+
+1. split the job's ranks into ``N/w`` replica groups of width ``w``
+   (``MPI_Comm_split``),
+2. each group member preloads its chunk — a contiguous slice of the global
+   sample range — into one packed byte buffer (data preloader),
+3. members exchange per-sample size tables (``MPI_Allgather``) and build
+   the replicated :class:`~.registry.ChunkRegistry`,
+4. every member exposes its buffer through an RMA window
+   (``MPI_Win_create``).
+
+Training-time fetch (:meth:`DDStore.get_samples`): look the requested
+global ids up in the registry, copy local ones straight out of the own
+buffer, and fetch remote ones with shared-lock ``MPI_Get`` batches from
+group members — never touching the filesystem and never leaving the
+replica group.
+
+The ``framework`` config selects the data plane: ``mpi-rma`` (the paper's
+choice) or ``p2p`` (the rejected two-sided alternative, kept as an
+ablation: every fetch then needs the *target's* cooperation, which costs a
+polling delay while the target is busy training).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional, Sequence
+
+import numpy as np
+
+from ..graphs import AtomicGraph
+from ..mpi import Comm, LOCK_SHARED, WinHandle, create_window, waitall
+from ..sim import RngRegistry
+from ..storage import SampleStats, decode_time, unpack_graph
+from .chunking import ChunkLayout
+from .config import DDStoreConfig
+from .preloader import DataSource
+from .registry import ChunkRegistry
+
+__all__ = ["DDStore", "FetchStats"]
+
+_TAG_FETCH_REQ = 71001
+_TAG_REPLY_BASE = 72000
+_SHUTDOWN = ("__ddstore_shutdown__",)
+_P2P_POLL_WINDOW_S = 1.0e-3  # how long a busy target takes to notice a request
+
+
+@dataclass
+class FetchStats:
+    """Cumulative fetch accounting of one DDStore handle."""
+
+    n_local: int = 0
+    n_remote: int = 0
+    bytes_local: int = 0
+    bytes_remote: int = 0
+    fetch_time: float = 0.0
+    decode_time: float = 0.0
+    latencies: list[float] = field(default_factory=list)
+
+    @property
+    def n_total(self) -> int:
+        return self.n_local + self.n_remote
+
+    def latency_array(self) -> np.ndarray:
+        return np.asarray(self.latencies, dtype=np.float64)
+
+
+class DDStore:
+    """Per-rank handle on the distributed store.
+
+    Use :meth:`create` (a collective coroutine) — the constructor wires an
+    already-initialised state.
+    """
+
+    def __init__(
+        self,
+        *,
+        comm: Comm,
+        group_comm: Comm,
+        config: DDStoreConfig,
+        layout: ChunkLayout,
+        registry: ChunkRegistry,
+        win: Optional[WinHandle],
+        record_latencies: bool,
+    ) -> None:
+        self.comm = comm
+        self.group_comm = group_comm
+        self.config = config
+        self.layout = layout
+        self.registry = registry
+        self.win = win
+        self.record_latencies = record_latencies
+        self.stats = FetchStats()
+        self._responder = None
+        self._reply_seq = 0
+        self._rng = RngRegistry("ddstore-p2p", comm.world_rank)
+        machine = comm.communicator.world.machine
+        self._machine = machine
+        self._local_copy_base = machine.intra_node_latency_s
+        self._local_copy_bw = machine.intra_node_bandwidth_Bps
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        comm: Comm,
+        source: DataSource,
+        *,
+        width: Optional[int] = None,
+        framework: str = "mpi-rma",
+        record_latencies: bool = False,
+    ) -> Generator:
+        """Collectively build the store over ``comm`` (all ranks call this).
+
+        ``source`` supplies the packed samples (a preloader plugin).
+        Returns this rank's :class:`DDStore` handle.
+        """
+        config = DDStoreConfig(comm.size, width=width, framework=framework)
+        group_comm = yield from comm.split(
+            color=config.group_of_rank(comm.rank), key=comm.rank
+        )
+        layout = ChunkLayout.build(source.n_samples, config.effective_width)
+
+        # Preload this member's chunk (timed filesystem / CPU work).
+        lo, hi = layout.chunk_range(group_comm.rank)
+        engine = comm.engine
+        node_index = comm.communicator.world.machine.node_of_rank(comm.world_rank)
+        result = yield from source.load_chunk(range(lo, hi), node_index, engine)
+
+        # Account the chunk against the node's DRAM (MemoryError here is the
+        # legitimate "width too large for this machine" failure mode).
+        buffer_nbytes = int(result.buffer.nbytes)
+        comm.communicator.world.cluster.charge_memory(node_index, buffer_nbytes)
+
+        # Exchange size tables and build the replicated registry.
+        sizes_all = yield from group_comm.allgather(result.sizes)
+        registry = ChunkRegistry.from_sample_sizes(layout, sizes_all)
+
+        win: Optional[WinHandle] = None
+        if framework == "mpi-rma":
+            win = yield from create_window(group_comm, result.buffer)
+            if record_latencies:
+                win.window.record_gets = True
+        store = cls(
+            comm=comm,
+            group_comm=group_comm,
+            config=config,
+            layout=layout,
+            registry=registry,
+            win=win,
+            record_latencies=record_latencies,
+        )
+        store._node_index = node_index
+        store._charged_bytes = buffer_nbytes
+        if framework == "p2p":
+            store._local_buffer = result.buffer
+            store._responder = engine.process(
+                store._respond_loop(), name=f"ddstore-responder[{comm.rank}]"
+            )
+        yield from comm.barrier()
+        return store
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def n_samples(self) -> int:
+        return self.layout.n_samples
+
+    @property
+    def width(self) -> int:
+        return self.config.effective_width
+
+    @property
+    def n_replicas(self) -> int:
+        return self.config.n_replicas
+
+    @property
+    def local_range(self) -> tuple[int, int]:
+        return self.layout.chunk_range(self.group_comm.rank)
+
+    @property
+    def memory_bytes(self) -> int:
+        """Bytes of dataset this rank holds in DRAM."""
+        return self.registry.buffer_bytes(self.group_comm.rank)
+
+    def _local_buffer_view(self) -> np.ndarray:
+        if self.win is not None:
+            return self.win.local
+        return self._local_buffer
+
+    # ------------------------------------------------------------------
+    # the data loader hot path
+    # ------------------------------------------------------------------
+    def get_samples(
+        self, indices: Sequence[int], decode: bool = True, n_workers: int = 1
+    ) -> Generator:
+        """Fetch the graphs for ``indices`` (global ids), in order.
+
+        Local samples are copied from the own chunk; remote ones are
+        fetched from replica-group members via the configured data plane.
+        ``n_workers`` models concurrent loader threads: RMA gets issue
+        from that many streams and CPU-side copy/decode work divides
+        across them.  Returns ``list[AtomicGraph]`` — or
+        ``list[SampleStats]`` when ``decode=False`` (identical
+        virtual-time charges, header-only wall-clock work; used by large
+        performance sweeps), or raw packed ``np.uint8`` payloads when
+        ``decode="raw"`` (no deserialisation charged; the resharding path).
+        """
+        idx = np.asarray(list(indices), dtype=np.int64)
+        if idx.size == 0:
+            return []
+        engine = self.comm.engine
+        t_start = engine.now
+        owners, offsets, sizes = self.registry.locate_batch(idx)
+        me = self.group_comm.rank
+        local_mask = owners == me
+
+        blobs: list[Optional[np.ndarray]] = [None] * idx.size
+        latencies = np.zeros(idx.size, dtype=np.float64)
+
+        # -- local samples: straight memcpy out of the own buffer ----------
+        local_positions = np.nonzero(local_mask)[0]
+        local_time = 0.0
+        if local_positions.size:
+            buf = self._local_buffer_view()
+            for p in local_positions:
+                off, nb = int(offsets[p]), int(sizes[p])
+                blobs[p] = buf[off : off + nb].copy()
+            copy_times = self._local_copy_base + sizes[local_positions] / self._local_copy_bw
+            latencies[local_positions] = copy_times
+            local_time = float(copy_times.sum())
+
+        # -- remote samples -------------------------------------------------
+        remote_positions = np.nonzero(~local_mask)[0]
+        if remote_positions.size:
+            if self.config.framework == "mpi-rma":
+                yield from self._fetch_rma(
+                    remote_positions, owners, offsets, sizes, blobs, latencies,
+                    n_streams=n_workers,
+                )
+            else:
+                yield from self._fetch_p2p(
+                    remote_positions, owners, offsets, sizes, blobs, latencies
+                )
+
+        if local_time:
+            yield engine.timeout(local_time / max(1, n_workers))
+
+        # -- deserialise (CPU) ----------------------------------------------
+        if decode == "raw":
+            dec = np.zeros(idx.size)
+            graphs = blobs
+        else:
+            dec = np.fromiter(
+                (decode_time(self._machine, int(s)) for s in sizes),
+                dtype=np.float64,
+                count=idx.size,
+            )
+            yield engine.timeout(float(dec.sum()) / max(1, n_workers))
+            latencies += dec
+            if decode:
+                graphs = [unpack_graph(b) for b in blobs]
+            else:
+                graphs = [SampleStats.from_blob(b) for b in blobs]
+
+        # -- bookkeeping ------------------------------------------------------
+        self.stats.n_local += int(local_positions.size)
+        self.stats.n_remote += int(remote_positions.size)
+        self.stats.bytes_local += int(sizes[local_positions].sum()) if local_positions.size else 0
+        self.stats.bytes_remote += int(sizes[remote_positions].sum()) if remote_positions.size else 0
+        self.stats.fetch_time += engine.now - t_start - float(dec.sum())
+        self.stats.decode_time += float(dec.sum())
+        if self.record_latencies:
+            self.stats.latencies.extend(latencies.tolist())
+        return graphs
+
+    def _fetch_rma(
+        self, positions, owners, offsets, sizes, blobs, latencies, n_streams=1
+    ) -> Generator:
+        """One-sided path: shared-lock epochs + one batched MPI_Get pass."""
+        win = self.win
+        assert win is not None
+        targets = sorted(set(int(owners[p]) for p in positions))
+        for t in targets:
+            yield from win.lock(t, LOCK_SHARED)
+        requests = [
+            (int(owners[p]), int(offsets[p]), int(sizes[p])) for p in positions
+        ]
+        payloads = yield from win.get_batch(requests, n_streams=n_streams)
+        for p, payload in zip(positions, payloads):
+            blobs[p] = payload
+        if win.last_latencies is not None:
+            latencies[positions] = win.last_latencies
+        for t in targets:
+            yield from win.unlock(t)
+
+    def _fetch_p2p(
+        self, positions, owners, offsets, sizes, blobs, latencies
+    ) -> Generator:
+        """Two-sided ablation: ask the owner, wait for it to notice & reply."""
+        comm = self.group_comm
+        engine = comm.engine
+        issue = engine.now
+        reply_reqs = []
+        for p in positions:
+            self._reply_seq += 1
+            reply_tag = _TAG_REPLY_BASE + self._reply_seq
+            req = (int(offsets[p]), int(sizes[p]), reply_tag, comm.rank)
+            yield from comm.send(req, dest=int(owners[p]), tag=_TAG_FETCH_REQ)
+            reply_reqs.append(comm.irecv(source=int(owners[p]), tag=reply_tag))
+        payloads = yield from waitall(reply_reqs)
+        done = engine.now
+        for p, payload in zip(positions, payloads):
+            blobs[p] = payload
+            latencies[p] = (done - issue) / max(len(positions), 1)
+
+    def _respond_loop(self) -> Generator:
+        """Target-side service loop of the two-sided ablation."""
+        comm = self.group_comm
+        engine = comm.engine
+        rng = self._rng.get("poll")
+        while True:
+            msg = yield comm.irecv(tag=_TAG_FETCH_REQ)
+            if msg == _SHUTDOWN:
+                return
+            offset, nbytes, reply_tag, requester = msg
+            # The target is busy computing; it notices the request at its
+            # next data-loader poll point.
+            yield engine.timeout(float(rng.uniform(0.0, _P2P_POLL_WINDOW_S)))
+            payload = self._local_buffer_view()[offset : offset + nbytes].copy()
+            yield from comm.send(payload, dest=requester, tag=reply_tag)
+
+    def shutdown(self) -> Generator:
+        """Collectively stop p2p responders (no-op for RMA)."""
+        if self.config.framework == "p2p":
+            yield from self.group_comm.send(_SHUTDOWN, dest=self.group_comm.rank, tag=_TAG_FETCH_REQ)
+        yield from self.comm.barrier()
+
+    def close(self) -> None:
+        """Release this rank's DRAM accounting (call after resharding)."""
+        charged = getattr(self, "_charged_bytes", 0)
+        node = getattr(self, "_node_index", None)
+        if charged and node is not None:
+            self.comm.communicator.world.cluster.release_memory(node, charged)
+            self._charged_bytes = 0
+
+    # ------------------------------------------------------------------
+    # elastic re-sharding
+    # ------------------------------------------------------------------
+    def reshard(self, width: Optional[int] = None, close_old: bool = True) -> Generator:
+        """Collectively rebuild the store with a new width — in memory.
+
+        The paper's §2.2 names the pain point: with classic data sharding,
+        changing the GPU count (or replication factor) forces a slow
+        re-partitioning through the filesystem.  With DDStore the data
+        already lives in the job's DRAM, so redistribution is a pure
+        memory-to-memory shuffle: every rank RMA-fetches its *new* chunk
+        from the old replica group, then the group structure, registry,
+        and windows are rebuilt.  Returns the new :class:`DDStore`.
+        """
+        source = _StoreSource(self)
+        new_store = yield from DDStore.create(
+            self.comm,
+            source,
+            width=width,
+            framework=self.config.framework,
+            record_latencies=self.record_latencies,
+        )
+        if close_old:
+            if self.config.framework == "p2p":
+                yield from self.shutdown()
+            self.close()
+        return new_store
+
+
+class _StoreSource:
+    """Preload plugin that pulls packed samples out of an existing store.
+
+    A new contiguous chunk ``[lo, hi)`` overlaps at most a handful of old
+    owners' contiguous ranges, so redistribution issues ONE large RMA get
+    per overlapped owner (bulk memory-to-memory streaming) instead of one
+    get per sample — the same trick the CFF preloader uses on files.  The
+    two-sided framework falls back to per-sample fetches.
+    """
+
+    def __init__(self, store: DDStore) -> None:
+        self.store = store
+        self.n_samples = store.n_samples
+
+    def load_chunk(self, indices, node_index: int, engine) -> Generator:
+        from .preloader import PreloadResult
+
+        indices = list(indices)
+        store = self.store
+        contiguous = bool(indices) and indices == list(
+            range(indices[0], indices[-1] + 1)
+        )
+        if not contiguous or store.win is None:
+            blobs = yield from store.get_samples(indices, decode="raw")
+            sizes = np.fromiter((b.size for b in blobs), dtype=np.int64, count=len(blobs))
+            buffer = np.concatenate(blobs) if blobs else np.zeros(0, dtype=np.uint8)
+            return PreloadResult(buffer=buffer, sizes=sizes)
+
+        lo, hi = indices[0], indices[-1] + 1
+        reg, layout, win = store.registry, store.layout, store.win
+        # One (owner, byte-span) request per overlapped old chunk.
+        requests = []
+        sizes_parts = []
+        for owner in range(layout.width):
+            c_lo, c_hi = layout.chunk_range(owner)
+            s_lo, s_hi = max(lo, c_lo), min(hi, c_hi)
+            if s_lo >= s_hi:
+                continue
+            table = reg.offsets[owner]
+            b_lo = int(table[s_lo - c_lo])
+            b_hi = int(table[s_hi - c_lo])
+            requests.append((owner, b_lo, b_hi - b_lo))
+            sizes_parts.append(np.diff(table[s_lo - c_lo : s_hi - c_lo + 1]))
+        me = store.group_comm.rank
+        local_parts = []
+        remote_requests = []
+        for owner, off, nb in requests:
+            if owner == me:
+                local_parts.append((owner, store._local_buffer_view()[off : off + nb].copy()))
+            else:
+                remote_requests.append((owner, off, nb))
+        targets = sorted({r[0] for r in remote_requests})
+        for t in targets:
+            yield from win.lock(t, LOCK_SHARED)
+        payloads = yield from win.get_batch(remote_requests)
+        for t in targets:
+            yield from win.unlock(t)
+        by_owner = dict(local_parts)
+        by_owner.update({r[0]: p for r, p in zip(remote_requests, payloads)})
+        buffer = (
+            np.concatenate([by_owner[r[0]] for r in requests])
+            if requests
+            else np.zeros(0, dtype=np.uint8)
+        )
+        sizes = (
+            np.concatenate(sizes_parts).astype(np.int64)
+            if sizes_parts
+            else np.zeros(0, dtype=np.int64)
+        )
+        return PreloadResult(buffer=buffer, sizes=sizes)

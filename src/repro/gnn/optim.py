@@ -1,0 +1,99 @@
+"""Optimisers and LR scheduling: AdamW + ReduceLROnPlateau (paper §4.2)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .modules import Param
+
+__all__ = ["AdamW", "ReduceLROnPlateau"]
+
+
+class AdamW:
+    """AdamW with decoupled weight decay (Loshchilov & Hutter), defaults
+    matching PyTorch's ``torch.optim.AdamW``."""
+
+    def __init__(
+        self,
+        params: Sequence[Param],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 1e-2,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        if not 0 <= betas[0] < 1 or not 0 <= betas[1] < 1:
+            raise ValueError("betas must be in [0, 1)")
+        self.params = list(params)
+        if not self.params:
+            raise ValueError("optimiser needs at least one parameter")
+        self.lr = lr
+        self.betas = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.t = 0
+        self._m = [np.zeros_like(p.value) for p in self.params]
+        self._v = [np.zeros_like(p.value) for p in self.params]
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        self.t += 1
+        b1, b2 = self.betas
+        bc1 = 1.0 - b1**self.t
+        bc2 = 1.0 - b2**self.t
+        for p, m, v in zip(self.params, self._m, self._v):
+            g = p.grad
+            m *= b1
+            m += (1 - b1) * g
+            v *= b2
+            v += (1 - b2) * g * g
+            # Decoupled decay: applied to the weights, not the gradient.
+            if self.weight_decay:
+                p.value *= 1.0 - self.lr * self.weight_decay
+            p.value -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+
+
+class ReduceLROnPlateau:
+    """Halve-style LR scheduler keyed on a monitored metric (val loss)."""
+
+    def __init__(
+        self,
+        optimizer: AdamW,
+        factor: float = 0.5,
+        patience: int = 5,
+        threshold: float = 1e-4,
+        min_lr: float = 1e-6,
+    ) -> None:
+        if not 0 < factor < 1:
+            raise ValueError("factor must be in (0, 1)")
+        self.optimizer = optimizer
+        self.factor = factor
+        self.patience = patience
+        self.threshold = threshold
+        self.min_lr = min_lr
+        self.best = float("inf")
+        self.bad_epochs = 0
+        self.lr_history: list[float] = [optimizer.lr]
+
+    def step(self, metric: float) -> bool:
+        """Feed one epoch's metric; returns True when the LR was reduced."""
+        reduced = False
+        if metric < self.best * (1.0 - self.threshold):
+            self.best = metric
+            self.bad_epochs = 0
+        else:
+            self.bad_epochs += 1
+            if self.bad_epochs > self.patience:
+                new_lr = max(self.optimizer.lr * self.factor, self.min_lr)
+                if new_lr < self.optimizer.lr:
+                    self.optimizer.lr = new_lr
+                    reduced = True
+                self.bad_epochs = 0
+        self.lr_history.append(self.optimizer.lr)
+        return reduced

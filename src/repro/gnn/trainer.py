@@ -1,0 +1,219 @@
+"""The instrumented DDP training loop (Fig 1's five steps, with timings).
+
+Each step: (i) data loading — overlapped with the previous step's GPU
+compute exactly as PyTorch's prefetching loader does, (ii) forward,
+(iii) backward, (iv) gradient allreduce, (v) optimiser update.
+
+The trainer accounts virtual time into the categories the paper's figures
+break out: ``cpu_loading``, ``cpu_batching`` (Fig 5's CPU bars),
+``gpu_h2d``, ``gpu_forward``, ``gpu_backward`` (GPU compute),
+``gpu_comm`` (model-sync allreduce incl. straggler wait), ``optimizer``.
+
+Two compute modes:
+
+* ``real_compute=True`` — the NumPy model actually trains (used for the
+  Fig 13 convergence study); GPU *time* still comes from the cost model so
+  phase breakdowns stay hardware-faithful,
+* ``real_compute=False`` — pure performance mode: data movement is real,
+  arithmetic is skipped, the gradient allreduce is charged at full fp32
+  volume.  This is what the scaling experiments run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+import numpy as np
+
+from ..core import DataLoader
+from ..hardware import GnnWorkload, GpuModel
+from ..mpi import RankContext
+from .ddp import DistributedModel
+from .model import HydraGNN
+
+__all__ = ["PhaseTimes", "EpochReport", "Trainer"]
+
+_PHASES = (
+    "cpu_loading",
+    "cpu_batching",
+    "gpu_h2d",
+    "gpu_forward",
+    "gpu_backward",
+    "gpu_comm",
+    "optimizer",
+)
+
+
+@dataclass
+class PhaseTimes:
+    """Accumulated virtual seconds per pipeline phase."""
+
+    seconds: dict[str, float] = field(default_factory=lambda: {p: 0.0 for p in _PHASES})
+
+    def add(self, phase: str, dt: float) -> None:
+        if phase not in self.seconds:
+            raise KeyError(f"unknown phase {phase!r}")
+        self.seconds[phase] += dt
+
+    @property
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+    def merged(self, other: "PhaseTimes") -> "PhaseTimes":
+        out = PhaseTimes()
+        for k in out.seconds:
+            out.seconds[k] = self.seconds[k] + other.seconds[k]
+        return out
+
+
+@dataclass
+class EpochReport:
+    epoch: int
+    n_steps: int
+    n_samples: int
+    elapsed: float  # virtual wall time of the epoch on this rank
+    phases: PhaseTimes
+    train_loss: Optional[float]  # None in modelled mode
+    sample_latencies: np.ndarray  # per-graph loading latency (Fig 6 data)
+
+    @property
+    def throughput(self) -> float:
+        """Samples per virtual second on this rank."""
+        return self.n_samples / self.elapsed if self.elapsed > 0 else 0.0
+
+
+class Trainer:
+    """One rank's trainer; construct identically on every rank."""
+
+    def __init__(
+        self,
+        ctx: RankContext,
+        dmodel: DistributedModel,
+        loader: DataLoader,
+        optimizer,
+        *,
+        real_compute: bool = True,
+        output_dim: Optional[int] = None,
+    ) -> None:
+        self.ctx = ctx
+        self.dmodel = dmodel
+        self.loader = loader
+        self.optimizer = optimizer
+        self.real_compute = real_compute
+        self.gpu = GpuModel(ctx.world.machine.gpu)
+        cfg = dmodel.model.config
+        self._feature_dim = cfg.feature_dim
+        self._output_dim = output_dim if output_dim is not None else sum(cfg.head_dims)
+        self._hidden = cfg.hidden_dim
+        self._n_conv = cfg.n_conv_layers
+        self._n_fc = cfg.n_fc_layers
+
+    # ------------------------------------------------------------------
+    def _workload(self, batch) -> GnnWorkload:
+        return GnnWorkload(
+            n_graphs=batch.n_graphs,
+            n_nodes=batch.n_nodes,
+            n_edges=batch.n_edges,
+            node_feature_dim=self._feature_dim,
+            output_dim=self._output_dim,
+            hidden_dim=self._hidden,
+            n_conv_layers=self._n_conv,
+            n_fc_layers=self._n_fc,
+        )
+
+    def train_epoch(self, epoch: int) -> Generator:
+        """Run one epoch; returns an :class:`EpochReport` (collective)."""
+        ctx = self.ctx
+        engine = ctx.engine
+        phases = PhaseTimes()
+        t_epoch = engine.now
+        batches = self.loader.epoch_batches(epoch)
+        losses: list[float] = []
+        latencies: list[np.ndarray] = []
+        n_samples = 0
+
+        # Prefetch pipeline: batch k+1 loads while batch k computes.
+        pending = engine.process(self.loader.load(batches[0]), name="prefetch") if batches else None
+
+        for step, idx in enumerate(batches):
+            loaded = yield pending  # stall only for the un-overlapped remainder
+            # Fig 5's stacked bars report the CPU pipeline's own cost
+            # (whether or not it hid under GPU compute), so book the full
+            # load duration, not just the stall.
+            phases.add("cpu_loading", loaded.load_time)
+            phases.add("cpu_batching", loaded.batching_time)
+            latencies.append(loaded.per_sample_latency)
+            if step + 1 < len(batches):
+                pending = engine.process(
+                    self.loader.load(batches[step + 1]), name="prefetch"
+                )
+
+            batch = loaded.batch
+            n_samples += batch.n_graphs
+            work = self._workload(batch)
+
+            # (ii)/(iii) forward + backward on the GPU.
+            t0 = engine.now
+            yield engine.timeout(self.gpu.h2d_time(work.batch_bytes()))
+            phases.add("gpu_h2d", engine.now - t0)
+
+            if self.real_compute:
+                self.optimizer.zero_grad()
+                loss = self.dmodel.model.train_step_loss(batch)
+                losses.append(loss)
+            t0 = engine.now
+            yield engine.timeout(self.gpu.forward_time(work))
+            phases.add("gpu_forward", engine.now - t0)
+            t0 = engine.now
+            yield engine.timeout(self.gpu.backward_time(work))
+            phases.add("gpu_backward", engine.now - t0)
+
+            # (iv) gradient aggregation (includes waiting for stragglers).
+            t0 = engine.now
+            if self.real_compute:
+                yield from self.dmodel.sync_gradients()
+            else:
+                yield from self.dmodel.sync_gradients_modelled()
+            phases.add("gpu_comm", engine.now - t0)
+
+            # (v) optimiser update.
+            t0 = engine.now
+            if self.real_compute:
+                self.optimizer.step()
+            yield engine.timeout(self.gpu.optimizer_time(self.dmodel.model.n_params()))
+            phases.add("optimizer", engine.now - t0)
+
+        elapsed = engine.now - t_epoch
+        return EpochReport(
+            epoch=epoch,
+            n_steps=len(batches),
+            n_samples=n_samples,
+            elapsed=elapsed,
+            phases=phases,
+            train_loss=float(np.mean(losses)) if losses else None,
+            sample_latencies=(
+                np.concatenate(latencies) if latencies else np.empty(0)
+            ),
+        )
+
+    def evaluate(self, indices: np.ndarray, batch_size: Optional[int] = None) -> Generator:
+        """Forward-only loss over ``indices`` (no parameter updates)."""
+        if not self.real_compute:
+            raise RuntimeError("evaluate() requires real_compute=True")
+        engine = self.ctx.engine
+        bs = batch_size or self.loader.batch_size
+        losses = []
+        weights = []
+        for lo in range(0, len(indices), bs):
+            chunk = np.asarray(indices[lo : lo + bs])
+            if chunk.size == 0:
+                continue
+            loaded = yield from self.loader.load(chunk)
+            work = self._workload(loaded.batch)
+            yield engine.timeout(self.gpu.forward_time(work))
+            losses.append(self.dmodel.model.evaluate_loss(loaded.batch))
+            weights.append(loaded.batch.n_graphs)
+        if not losses:
+            return float("nan")
+        return float(np.average(losses, weights=weights))

@@ -1,0 +1,35 @@
+"""Atomistic graph datasets: structures, collation, and synthetic generators."""
+
+from .batch import GraphBatch, collate
+from .datasets import (
+    DATASETS,
+    DatasetSpec,
+    GraphGenerator,
+    compute_stats,
+    make_generator,
+    materialize,
+)
+from .graph import AtomicGraph, GraphStats
+from .ising import IsingGenerator, ising_energy
+from .molecules import MoleculeGenerator, synthetic_gap
+from .spectra import SpectrumGenerator, dftb_surrogate_spectrum, gaussian_smooth_spectrum
+
+__all__ = [
+    "AtomicGraph",
+    "GraphStats",
+    "GraphBatch",
+    "collate",
+    "IsingGenerator",
+    "ising_energy",
+    "MoleculeGenerator",
+    "synthetic_gap",
+    "SpectrumGenerator",
+    "dftb_surrogate_spectrum",
+    "gaussian_smooth_spectrum",
+    "DATASETS",
+    "DatasetSpec",
+    "GraphGenerator",
+    "make_generator",
+    "compute_stats",
+    "materialize",
+]

@@ -1,0 +1,96 @@
+"""Mini-batch collation: many small graphs into one block-diagonal graph.
+
+The paper's "CPU-Batching" phase (Fig 5) is exactly this operation: the
+samples fetched by the data loader are concatenated into one disjoint
+union so a single message-passing pass covers the whole batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .graph import AtomicGraph
+
+__all__ = ["GraphBatch", "collate"]
+
+
+@dataclass
+class GraphBatch:
+    """A disjoint union of graphs with per-node graph membership.
+
+    ``ptr`` is the CSR-style boundary array: nodes of graph ``i`` occupy
+    rows ``ptr[i]:ptr[i+1]``.
+    """
+
+    positions: np.ndarray  # (N, 3)
+    node_features: np.ndarray  # (N, f)
+    edge_index: np.ndarray  # (2, E) with shifted node ids
+    y: np.ndarray  # (B, out_dim)
+    node_graph: np.ndarray  # (N,) graph index of every node
+    ptr: np.ndarray  # (B + 1,)
+    sample_ids: np.ndarray  # (B,)
+
+    @property
+    def n_graphs(self) -> int:
+        return int(self.y.shape[0])
+
+    @property
+    def n_nodes(self) -> int:
+        return int(self.positions.shape[0])
+
+    @property
+    def n_edges(self) -> int:
+        return int(self.edge_index.shape[1])
+
+    def graph(self, i: int) -> AtomicGraph:
+        """Recover the i-th constituent graph (inverse of collate)."""
+        lo, hi = int(self.ptr[i]), int(self.ptr[i + 1])
+        mask = (self.edge_index[0] >= lo) & (self.edge_index[0] < hi)
+        return AtomicGraph(
+            positions=self.positions[lo:hi],
+            node_features=self.node_features[lo:hi],
+            edge_index=self.edge_index[:, mask] - lo,
+            y=self.y[i],
+            sample_id=int(self.sample_ids[i]),
+        )
+
+
+def collate(graphs: Sequence[AtomicGraph]) -> GraphBatch:
+    """Concatenate graphs into one batch, shifting edge indices."""
+    if not graphs:
+        raise ValueError("cannot collate an empty batch")
+    out_dim = graphs[0].output_dim
+    feat_dim = graphs[0].feature_dim
+    for g in graphs:
+        if g.output_dim != out_dim or g.feature_dim != feat_dim:
+            raise ValueError(
+                "inconsistent feature/output dims within one batch: "
+                f"({g.feature_dim}, {g.output_dim}) vs ({feat_dim}, {out_dim})"
+            )
+    node_counts = np.fromiter((g.n_nodes for g in graphs), dtype=np.int64, count=len(graphs))
+    ptr = np.zeros(len(graphs) + 1, dtype=np.int64)
+    np.cumsum(node_counts, out=ptr[1:])
+
+    positions = np.concatenate([g.positions for g in graphs], axis=0)
+    feats = np.concatenate([g.node_features for g in graphs], axis=0)
+    edges = [g.edge_index + off for g, off in zip(graphs, ptr[:-1])]
+    edge_index = (
+        np.concatenate(edges, axis=1)
+        if any(g.n_edges for g in graphs)
+        else np.zeros((2, 0), dtype=np.int32)
+    )
+    y = np.stack([g.y for g in graphs], axis=0)
+    node_graph = np.repeat(np.arange(len(graphs), dtype=np.int64), node_counts)
+    sample_ids = np.fromiter((g.sample_id for g in graphs), dtype=np.int64, count=len(graphs))
+    return GraphBatch(
+        positions=positions,
+        node_features=feats,
+        edge_index=edge_index.astype(np.int32),
+        y=y,
+        node_graph=node_graph,
+        ptr=ptr,
+        sample_ids=sample_ids,
+    )

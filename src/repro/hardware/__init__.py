@@ -1,0 +1,34 @@
+"""Hardware models: machine topologies, interconnect, parallel FS, GPUs."""
+
+from .gpu import GnnWorkload, GpuModel
+from .machines import MACHINES, PERLMUTTER, SUMMIT, TESTBOX, get_machine
+from .network import Interconnect, RmaBatchTiming, RmaTiming
+from .nvme import NVMeDevice, NVMeSpec, SUMMIT_BURST_BUFFER, TEST_NVME
+from .pfs import IoTiming, PageCache, ParallelFileSystem
+from .topology import Cluster, GpuSpec, MachineSpec, NicSpec, Node, PFSSpec
+
+__all__ = [
+    "MachineSpec",
+    "NicSpec",
+    "GpuSpec",
+    "PFSSpec",
+    "Node",
+    "Cluster",
+    "Interconnect",
+    "RmaTiming",
+    "RmaBatchTiming",
+    "NVMeDevice",
+    "NVMeSpec",
+    "SUMMIT_BURST_BUFFER",
+    "TEST_NVME",
+    "ParallelFileSystem",
+    "PageCache",
+    "IoTiming",
+    "GpuModel",
+    "GnnWorkload",
+    "SUMMIT",
+    "PERLMUTTER",
+    "TESTBOX",
+    "MACHINES",
+    "get_machine",
+]

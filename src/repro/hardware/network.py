@@ -1,0 +1,221 @@
+"""Interconnect timing model: point-to-point, RMA, and collective costs.
+
+The model has three ingredients:
+
+* a latency/bandwidth (alpha-beta) cost per message,
+* FIFO queueing at each node's injection/reception NIC
+  (:class:`~repro.sim.QueueStation`), which produces contention when many
+  origins target one node — the bottleneck DDStore's *width* parameter
+  exists to mitigate,
+* multiplicative lognormal jitter from deterministic per-origin RNG
+  streams, giving realistic latency tails.
+
+All hot paths are vectorised: a batch of RMA gets is priced in one NumPy
+pass grouped by target node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sim import RngRegistry
+from .topology import Cluster
+
+__all__ = ["Interconnect", "RmaTiming"]
+
+
+@dataclass(frozen=True)
+class RmaTiming:
+    """Timing of one remote get: when it completed and its total latency."""
+
+    completion: float
+    latency: float
+    remote: bool  # False when served from the origin's own node
+
+
+@dataclass(frozen=True)
+class RmaBatchTiming:
+    """Timing of a batch of gets issued back-to-back by one origin.
+
+    ``issues[i]`` is when the origin CPU finished the software critical
+    path of get ``i`` and handed it to the NIC (gets are issued serially);
+    ``completions[i]`` is when its payload landed in origin memory.  The
+    per-get latency the paper's Fig 6 plots is ``completions - issues``.
+    """
+
+    issues: np.ndarray
+    completions: np.ndarray
+
+    @property
+    def latencies(self) -> np.ndarray:
+        return self.completions - self.issues
+
+    @property
+    def finish(self) -> float:
+        return float(self.completions.max()) if self.completions.size else 0.0
+
+
+class Interconnect:
+    def __init__(self, cluster: Cluster, jitter_sigma: float = 0.18, seed: int = 0) -> None:
+        self.cluster = cluster
+        self.spec = cluster.spec
+        self.jitter_sigma = jitter_sigma
+        self._rng = RngRegistry("interconnect", cluster.spec.name, seed)
+        # Pre-computed lognormal correction so jitter has mean 1.0.
+        self._jitter_mu = -0.5 * jitter_sigma**2
+
+    # -- basic costs -------------------------------------------------------
+    def wire_time(self, nbytes: int | np.ndarray, intra_node: bool = False):
+        """Pure alpha-beta transfer time without queueing."""
+        if intra_node:
+            return self.spec.intra_node_latency_s + np.asarray(nbytes) / self.spec.intra_node_bandwidth_Bps
+        nic = self.spec.nic
+        return nic.latency_s + np.asarray(nbytes) / nic.bandwidth_Bps
+
+    def _jitter(self, origin_rank: int, n: int) -> np.ndarray:
+        if self.jitter_sigma <= 0:
+            return np.ones(n)
+        rng = self._rng.get("jitter", origin_rank)
+        return rng.lognormal(mean=self._jitter_mu, sigma=self.jitter_sigma, size=n)
+
+    # -- point-to-point ----------------------------------------------------
+    def send_time(self, src_rank: int, dst_rank: int, nbytes: int, arrival: float) -> float:
+        """Completion time of a two-sided message posted at ``arrival``."""
+        if self.cluster.same_node(src_rank, dst_rank):
+            jit = float(self._jitter(src_rank, 1)[0])
+            return arrival + float(self.wire_time(nbytes, intra_node=True)) * jit
+        nic = self.spec.nic
+        src_node = self.cluster.node_of_rank(src_rank)
+        dst_node = self.cluster.node_of_rank(dst_rank)
+        service = nic.message_overhead_s + nbytes / nic.bandwidth_Bps
+        jit = self._jitter(src_rank, 2)
+        injected = src_node.nic_out.serve(arrival, service * float(jit[0]))
+        arrived = dst_node.nic_in.serve(injected + nic.latency_s, service * float(jit[1]))
+        return arrived
+
+    # -- one-sided RMA -----------------------------------------------------
+    def rma_get(self, origin_rank: int, target_rank: int, nbytes: int, arrival: float) -> RmaTiming:
+        out = self.rma_get_batch(
+            origin_rank, np.array([target_rank]), np.array([nbytes]), arrival
+        )
+        return RmaTiming(
+            completion=float(out.completions[0]),
+            latency=float(out.completions[0] - arrival),
+            remote=not self.cluster.same_node(origin_rank, target_rank),
+        )
+
+    def rma_get_batch(
+        self,
+        origin_rank: int,
+        target_ranks: np.ndarray,
+        nbytes: np.ndarray,
+        arrival: float,
+        n_streams: int = 1,
+    ) -> RmaBatchTiming:
+        """Timing of a batch of MPI_Get calls issued back-to-back.
+
+        The origin CPU runs the per-get software critical path (lock/get/
+        unlock inside the MPI library and its Python binding) serially
+        within each of ``n_streams`` issuing threads (PyTorch DataLoader
+        workers), requests dealt round-robin; with one stream, get ``i``
+        is *issued* at ``arrival + cumsum(software)[i]``.  Each get then
+        pays the request wire latency, FIFO service at the target node's
+        outbound NIC (where the payload is injected), and FIFO service at
+        the origin node's inbound NIC.  Gets to ranks on the origin's own
+        node use the shared-memory path and skip the NICs.
+        """
+        target_ranks = np.asarray(target_ranks, dtype=np.int64)
+        nbytes = np.asarray(nbytes, dtype=np.float64)
+        if target_ranks.shape != nbytes.shape:
+            raise ValueError("target_ranks and nbytes must have matching shapes")
+        n = target_ranks.size
+        if n == 0:
+            empty = np.empty(0, dtype=np.float64)
+            return RmaBatchTiming(issues=empty, completions=empty.copy())
+
+        spec = self.spec
+        nic = spec.nic
+        origin_node_idx = spec.node_of_rank(origin_rank)
+        target_nodes = target_ranks // spec.gpus_per_node
+        local = target_nodes == origin_node_idx
+
+        completions = np.empty(n, dtype=np.float64)
+        jit = self._jitter(origin_rank, n)
+        # Same-node targets go through the shared-memory window fast path,
+        # which skips the network lock round trip (paper Table 3: width=2
+        # medians drop to ~0.05 ms because fetches become intra-node).
+        per_get = np.where(
+            local, spec.rma_software_local_s, spec.rma_software_overhead_s
+        )
+        software = per_get * jit
+        # Get i's software section runs [starts[i], ready[i]); the observed
+        # per-get latency (completion - start) therefore includes it.
+        # With W worker streams, stream s issues gets s, s+W, s+2W, ...
+        # serially while the streams run concurrently.
+        n_streams = max(1, int(n_streams))
+        if n_streams == 1:
+            ready = arrival + np.cumsum(software)
+        else:
+            ready = np.empty(n, dtype=np.float64)
+            for s in range(min(n_streams, n)):
+                sel = slice(s, n, n_streams)
+                ready[sel] = arrival + np.cumsum(software[sel])
+        starts = ready - software
+
+        # Local (same-node) gets: shared-memory copy, no NIC involvement.
+        if local.any():
+            copy = spec.intra_node_latency_s + nbytes[local] / spec.intra_node_bandwidth_Bps
+            completions[local] = ready[local] + copy
+
+        # Remote gets: the request crosses the wire, the payload is
+        # injected at the target node's outbound NIC, then drains through
+        # the origin node's inbound NIC.  Both NICs are fluid congestion
+        # stations, so contention (many origins hammering one target - the
+        # hotspot DDStore's width mitigates) accumulates while idle gaps
+        # cost nothing regardless of pricing order across ranks.
+        remote_idx = np.nonzero(~local)[0]
+        if remote_idx.size:
+            origin_in = self.cluster.nodes[origin_node_idx].nic_in
+            service = (nic.message_overhead_s + nbytes[remote_idx] / nic.bandwidth_Bps) * jit[remote_idx]
+            request_arrive = ready[remote_idx] + nic.latency_s
+            done = np.empty(remote_idx.size, dtype=np.float64)
+            tnodes = target_nodes[remote_idx]
+            nodes = self.cluster.nodes
+            for k in range(remote_idx.size):
+                injected = nodes[int(tnodes[k])].nic_out.serve(
+                    float(request_arrive[k]), float(service[k])
+                )
+                done[k] = origin_in.serve(injected + nic.latency_s, float(service[k]))
+            completions[remote_idx] = done
+
+        return RmaBatchTiming(issues=starts, completions=completions)
+
+    # -- collectives -------------------------------------------------------
+    def collective_time(self, op: str, nbytes: int, n_ranks: int) -> float:
+        """Alpha-beta cost model for a collective over ``n_ranks`` ranks.
+
+        Standard algorithm costs (Thakur et al.): binomial tree for
+        bcast/barrier/small reduce, ring for large allreduce/allgather.
+        """
+        if n_ranks <= 1:
+            return 0.0
+        nic = self.spec.nic
+        alpha = nic.latency_s + nic.message_overhead_s
+        beta = 1.0 / nic.bandwidth_Bps
+        p = n_ranks
+        log_p = int(np.ceil(np.log2(p)))
+        if op == "barrier":
+            return 2 * log_p * alpha
+        if op in ("bcast", "reduce"):
+            return log_p * (alpha + nbytes * beta)
+        if op == "allreduce":
+            if nbytes <= 4096:
+                return log_p * (alpha + nbytes * beta)
+            # ring reduce-scatter + allgather
+            return 2 * (p - 1) * alpha + 2 * (p - 1) / p * nbytes * beta
+        if op in ("allgather", "alltoall", "gather", "scatter"):
+            # nbytes here is the per-rank contribution
+            return (p - 1) * alpha + (p - 1) * nbytes * beta
+        raise ValueError(f"unknown collective op {op!r}")

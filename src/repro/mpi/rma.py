@@ -1,0 +1,261 @@
+"""One-sided RMA: MPI windows with lock/unlock epochs and Get/Put.
+
+This is the communication layer DDStore is built on (paper §3.2).  Each
+rank exposes a byte buffer through a collectively-created
+:class:`Window`; remote ranks read it with ``MPI_Get`` under a shared lock
+without involving the target process — the target only pays NIC occupancy,
+which the interconnect model charges.
+
+Semantic checks mirror MPI rules: access outside a lock epoch, puts under a
+shared lock, and out-of-range transfers all raise :class:`RMAError` instead
+of corrupting memory.
+
+The vectorised :meth:`WinHandle.get_batch` is the DDStore hot path: it
+prices a whole mini-batch of gets in one NumPy pass (per-target FIFO
+queueing included), performs the real memory copies, and yields once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional, Sequence
+
+import numpy as np
+
+from ..sim import Event, RWLock
+from .comm import Comm, Communicator
+from .errors import RMAError
+
+__all__ = ["LOCK_SHARED", "LOCK_EXCLUSIVE", "Window", "WinHandle", "create_window"]
+
+LOCK_SHARED = "shared"
+LOCK_EXCLUSIVE = "exclusive"
+
+
+@dataclass
+class _GetRecord:
+    """One completed get, kept for latency-distribution experiments."""
+
+    origin: int
+    target: int
+    nbytes: int
+    issued_at: float
+    completed_at: float
+
+    @property
+    def latency(self) -> float:
+        return self.completed_at - self.issued_at
+
+
+class Window:
+    """Shared state of one RMA window across all ranks of a communicator."""
+
+    def __init__(self, communicator: Communicator, buffers: dict[int, np.ndarray]) -> None:
+        self.communicator = communicator
+        if set(buffers) != set(range(communicator.size)):
+            raise RMAError("window requires exactly one buffer per rank")
+        self.buffers: dict[int, np.ndarray] = {}
+        for rank, buf in buffers.items():
+            arr = np.ascontiguousarray(buf).view(np.uint8).reshape(-1)
+            self.buffers[rank] = arr
+        self.locks = [
+            RWLock(communicator.engine, name=f"win-lock[{r}]")
+            for r in range(communicator.size)
+        ]
+        self.get_log: list[_GetRecord] = []
+        self.record_gets = False
+
+    def buffer_size(self, rank: int) -> int:
+        return int(self.buffers[rank].size)
+
+
+class WinHandle:
+    """Per-rank handle on a window (tracks this rank's lock epochs)."""
+
+    def __init__(self, window: Window, comm: Comm) -> None:
+        self.window = window
+        self.comm = comm
+        self._held: dict[int, str] = {}  # target rank -> lock type
+        # Per-request latencies of this handle's most recent get_batch
+        # (rank-local; the shared window.get_log interleaves ranks).
+        self.last_latencies: Optional[np.ndarray] = None
+
+    @property
+    def engine(self):
+        return self.comm.engine
+
+    @property
+    def local(self) -> np.ndarray:
+        """This rank's exposed buffer (a uint8 view)."""
+        return self.window.buffers[self.comm.rank]
+
+    # -- lock epochs -------------------------------------------------------
+    def lock(self, target: int, lock_type: str = LOCK_SHARED) -> Generator:
+        self._check_target(target)
+        if target in self._held:
+            raise RMAError(f"rank {self.comm.rank} already holds a lock on {target}")
+        start = self.engine.now
+        rwlock = self.window.locks[target]
+        if lock_type == LOCK_SHARED:
+            yield rwlock.acquire_shared()
+        elif lock_type == LOCK_EXCLUSIVE:
+            yield rwlock.acquire_exclusive()
+        else:
+            raise RMAError(f"unknown lock type {lock_type!r}")
+        self._held[target] = lock_type
+        self.comm.stats.record("MPI_Win_lock", self.engine.now - start)
+
+    def unlock(self, target: int) -> Generator:
+        held = self._held.pop(target, None)
+        if held is None:
+            raise RMAError(f"rank {self.comm.rank} does not hold a lock on {target}")
+        rwlock = self.window.locks[target]
+        if held == LOCK_SHARED:
+            rwlock.release_shared()
+        else:
+            rwlock.release_exclusive()
+        self.comm.stats.record("MPI_Win_unlock", 0.0)
+        return
+        yield  # pragma: no cover - makes this a generator for API symmetry
+
+    def fence(self) -> Generator:
+        """Collective synchronisation (MPI_Win_fence)."""
+        start = self.engine.now
+        yield from self.comm.barrier()
+        self.comm.stats.record("MPI_Win_fence", self.engine.now - start)
+
+    # -- data movement -----------------------------------------------------
+    def get(self, target: int, offset: int, nbytes: int) -> Generator:
+        """Read ``nbytes`` at ``offset`` from the target's buffer.
+
+        Returns the bytes as a fresh ``np.uint8`` array after yielding for
+        the modelled transfer time.
+        """
+        out = yield from self.get_batch([(target, offset, nbytes)])
+        return out[0]
+
+    def get_batch(
+        self, requests: Sequence[tuple[int, int, int]], n_streams: int = 1
+    ) -> Generator:
+        """Issue many gets back-to-back; wait for all (DDStore hot path).
+
+        ``requests`` is a sequence of ``(target_rank, offset, nbytes)``;
+        ``n_streams`` models concurrent issuing threads (loader workers).
+        Returns the payloads in request order.  Per-request latencies are
+        appended to the window's ``get_log`` when recording is enabled.
+        """
+        if not requests:
+            return []
+        comm = self.comm
+        window = self.window
+        engine = self.engine
+        targets = np.fromiter((r[0] for r in requests), dtype=np.int64, count=len(requests))
+        offsets = np.fromiter((r[1] for r in requests), dtype=np.int64, count=len(requests))
+        sizes = np.fromiter((r[2] for r in requests), dtype=np.int64, count=len(requests))
+
+        for t, off, nb in zip(targets, offsets, sizes):
+            self._check_target(int(t))
+            if int(t) not in self._held:
+                raise RMAError(
+                    f"rank {comm.rank} issued MPI_Get to {t} outside a lock epoch"
+                )
+            buf = window.buffers[int(t)]
+            if nb < 0 or off < 0 or off + nb > buf.size:
+                raise RMAError(
+                    f"get of [{off}, {off + nb}) exceeds window of rank {t} "
+                    f"({buf.size} bytes)"
+                )
+
+        # Real data movement (copies, so later remote writes can't alias).
+        payloads = [
+            window.buffers[int(t)][int(off) : int(off + nb)].copy()
+            for t, off, nb in zip(targets, offsets, sizes)
+        ]
+
+        # Timing: one vectorised pass through the interconnect model.
+        issued = engine.now
+        world_targets = np.fromiter(
+            (comm.communicator.world_rank(int(t)) for t in targets),
+            dtype=np.int64,
+            count=targets.size,
+        )
+        timing = comm.communicator.net.rma_get_batch(
+            comm.world_rank, world_targets, sizes.astype(np.float64), issued,
+            n_streams=n_streams,
+        )
+        finish = timing.finish
+        self.last_latencies = timing.latencies
+        if window.record_gets:
+            for t, nb, iss, done in zip(
+                targets, sizes, timing.issues, timing.completions
+            ):
+                window.get_log.append(
+                    _GetRecord(
+                        origin=comm.rank,
+                        target=int(t),
+                        nbytes=int(nb),
+                        issued_at=float(iss),
+                        completed_at=float(done),
+                    )
+                )
+        total_bytes = int(sizes.sum())
+        yield engine.timeout(max(0.0, finish - issued))
+        comm.stats.record("MPI_Get", engine.now - issued, total_bytes)
+        return payloads
+
+    def put(self, data: np.ndarray | bytes, target: int, offset: int) -> Generator:
+        """Write ``data`` into the target buffer (requires exclusive lock)."""
+        self._check_target(target)
+        held = self._held.get(target)
+        if held != LOCK_EXCLUSIVE:
+            raise RMAError(
+                f"MPI_Put by rank {self.comm.rank} on {target} requires an "
+                f"exclusive lock (held: {held!r})"
+            )
+        payload = np.frombuffer(bytes(data), dtype=np.uint8) if isinstance(
+            data, (bytes, bytearray, memoryview)
+        ) else np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+        buf = self.window.buffers[target]
+        if offset < 0 or offset + payload.size > buf.size:
+            raise RMAError(
+                f"put of [{offset}, {offset + payload.size}) exceeds window "
+                f"of rank {target} ({buf.size} bytes)"
+            )
+        comm = self.comm
+        engine = self.engine
+        issued = engine.now
+        timing = comm.communicator.net.rma_get(
+            comm.world_rank,
+            comm.communicator.world_rank(target),
+            int(payload.size),
+            issued,
+        )
+        yield engine.timeout(max(0.0, timing.completion - issued))
+        buf[offset : offset + payload.size] = payload
+        comm.stats.record("MPI_Put", engine.now - issued, int(payload.size))
+
+    # -- helpers -----------------------------------------------------------
+    def _check_target(self, target: int) -> None:
+        if not 0 <= target < self.comm.size:
+            raise RMAError(f"target rank {target} out of range (size {self.comm.size})")
+
+
+def create_window(comm: Comm, local_buffer: np.ndarray | bytes | int) -> Generator:
+    """Collectively create a window (MPI_Win_create).
+
+    ``local_buffer`` is this rank's exposed memory: a NumPy array, raw
+    bytes, or an integer byte count (allocated zeroed).  Returns this
+    rank's :class:`WinHandle`.
+    """
+    if isinstance(local_buffer, int):
+        buf = np.zeros(local_buffer, dtype=np.uint8)
+    elif isinstance(local_buffer, (bytes, bytearray, memoryview)):
+        buf = np.frombuffer(bytearray(local_buffer), dtype=np.uint8)
+    else:
+        buf = np.ascontiguousarray(local_buffer)
+    window = yield from comm.fuse(_build_window, buf, call_name="MPI_Win_create")
+    return WinHandle(window, comm)
+
+
+def _build_window(communicator: Communicator, buffers: list) -> Window:
+    return Window(communicator, dict(enumerate(buffers)))

@@ -1,0 +1,132 @@
+"""Timeline tracing for simulation runs.
+
+A :class:`Tracer` records labelled spans and instant marks against the
+virtual clock, producing either a tabular dump or a Chrome
+``chrome://tracing``-compatible JSON object list.  The trainer and DDStore
+don't trace by default (zero overhead); attach a tracer when debugging
+pipeline overlap, e.g.::
+
+    tracer = Tracer(engine)
+    with tracer.span("preload", rank=0):
+        ...
+    print(tracer.render())
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional
+
+from .engine import Engine
+
+__all__ = ["Tracer", "Span"]
+
+
+@dataclass(frozen=True)
+class Span:
+    name: str
+    start: float
+    end: float
+    meta: tuple[tuple[str, Any], ...] = ()
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class Tracer:
+    """Collects spans/marks in virtual time; render or export afterwards."""
+
+    def __init__(self, engine: Engine, max_events: int = 100_000) -> None:
+        self.engine = engine
+        self.max_events = max_events
+        self.spans: list[Span] = []
+        self.marks: list[tuple[float, str]] = []
+        self._dropped = 0
+
+    # -- recording -------------------------------------------------------
+    @contextmanager
+    def span(self, name: str, **meta: Any) -> Iterator[None]:
+        """Record the virtual-time extent of a ``with`` block.
+
+        Note: in coroutine code the block must contain the ``yield``ing
+        calls for the span to have extent (pure-CPU blocks take zero
+        virtual time by construction).
+        """
+        start = self.engine.now
+        try:
+            yield
+        finally:
+            self._add(Span(name, start, self.engine.now, tuple(sorted(meta.items()))))
+
+    def begin(self, name: str, **meta: Any) -> float:
+        """Manual span start; pair with :meth:`end`."""
+        return self.engine.now
+
+    def end(self, name: str, start: float, **meta: Any) -> None:
+        self._add(Span(name, start, self.engine.now, tuple(sorted(meta.items()))))
+
+    def mark(self, label: str) -> None:
+        if len(self.marks) < self.max_events:
+            self.marks.append((self.engine.now, label))
+        else:
+            self._dropped += 1
+
+    def _add(self, span: Span) -> None:
+        if len(self.spans) < self.max_events:
+            self.spans.append(span)
+        else:
+            self._dropped += 1
+
+    # -- queries -----------------------------------------------------------
+    def total(self, name: str) -> float:
+        """Summed duration of all spans with this name."""
+        return sum(s.duration for s in self.spans if s.name == name)
+
+    def by_name(self) -> dict[str, float]:
+        out: dict[str, float] = {}
+        for s in self.spans:
+            out[s.name] = out.get(s.name, 0.0) + s.duration
+        return out
+
+    # -- output --------------------------------------------------------------
+    def render(self, unit: float = 1e-3, unit_name: str = "ms") -> str:
+        """Human-readable chronological dump."""
+        events: list[tuple[float, str]] = []
+        for s in sorted(self.spans, key=lambda s: (s.start, s.end)):
+            meta = " ".join(f"{k}={v}" for k, v in s.meta)
+            events.append(
+                (
+                    s.start,
+                    f"[{s.start / unit:10.3f} - {s.end / unit:10.3f} {unit_name}] "
+                    f"{s.name} ({s.duration / unit:.3f} {unit_name})"
+                    + (f"  {meta}" if meta else ""),
+                )
+            )
+        for t, label in self.marks:
+            events.append((t, f"[{t / unit:10.3f} {unit_name}] * {label}"))
+        events.sort(key=lambda e: e[0])
+        lines = [e[1] for e in events]
+        if self._dropped:
+            lines.append(f"... {self._dropped} events dropped (max_events={self.max_events})")
+        return "\n".join(lines)
+
+    def to_chrome_trace(self) -> list[dict]:
+        """Events for chrome://tracing / Perfetto (timestamps in us)."""
+        out = []
+        for s in self.spans:
+            entry = dict(
+                name=s.name,
+                ph="X",
+                ts=s.start * 1e6,
+                dur=s.duration * 1e6,
+                pid=0,
+                tid=dict(s.meta).get("rank", 0),
+            )
+            if s.meta:
+                entry["args"] = dict(s.meta)
+            out.append(entry)
+        for t, label in self.marks:
+            out.append(dict(name=label, ph="i", ts=t * 1e6, pid=0, tid=0, s="g"))
+        return out

@@ -1,0 +1,37 @@
+"""Storage substrate: graph codec, virtual FS, and the PFF/CFF formats."""
+
+from .formats import (
+    CFFIndex,
+    CFFReader,
+    CFFWriter,
+    PFFReader,
+    PFFWriter,
+    SampleReader,
+    SampleStats,
+    decode_time,
+)
+from .serialization import CodecError, pack_graph, packed_size, peek_header, unpack_graph
+from .staging import NVMeStagedReader, stage_to_nvme
+from .vfs import FileExists, FileNotFound, VirtualFile, VirtualFS
+
+__all__ = [
+    "pack_graph",
+    "unpack_graph",
+    "packed_size",
+    "peek_header",
+    "CodecError",
+    "VirtualFS",
+    "VirtualFile",
+    "FileNotFound",
+    "FileExists",
+    "SampleReader",
+    "SampleStats",
+    "decode_time",
+    "PFFWriter",
+    "PFFReader",
+    "CFFWriter",
+    "CFFReader",
+    "CFFIndex",
+    "NVMeStagedReader",
+    "stage_to_nvme",
+]

@@ -1,0 +1,346 @@
+"""PFF and CFF: the two baseline on-disk formats the paper compares against.
+
+* **PFF (per-object file format)** — one file per sample (the "pickle"
+  baseline): every access pays a metadata open plus a small read, and a
+  million samples means a million files hammering the MDS.
+* **CFF (containerized file format)** — ADIOS-like: samples are packed
+  into a few large subfiles plus an index; training-time access is a
+  random read inside a huge container, contended by every rank.
+
+Both readers implement the :class:`SampleReader` interface consumed by the
+training data loaders and the DDStore preloader, returning real graphs and
+virtual-time completion stamps.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from ..graphs import AtomicGraph
+from ..graphs.datasets import GraphGenerator
+from ..hardware import MachineSpec
+from ..sim.rng import RngRegistry
+from .serialization import pack_graph, peek_header, unpack_graph
+from .vfs import VirtualFS
+
+# I/O-library software path (pickle.load / ADIOS inquiry+get) jitter: the
+# lognormal sigma of the observed call-time distribution.
+_SOFTWARE_JITTER_SIGMA = 0.25
+
+__all__ = [
+    "SampleReader",
+    "SampleStats",
+    "decode_time",
+    "PFFWriter",
+    "PFFReader",
+    "CFFWriter",
+    "CFFReader",
+    "CFFIndex",
+]
+
+
+@dataclass(frozen=True)
+class SampleStats:
+    """Header-only view of a packed sample (stats-mode pipelines).
+
+    Carries exactly what the performance path needs — graph sizes for the
+    GPU cost model and the byte count for CPU costing — without paying the
+    wall-clock price of a full deserialisation.  Virtual-time charges are
+    identical either way.
+    """
+
+    sample_id: int
+    n_nodes: int
+    n_edges: int
+    feature_dim: int
+    output_dim: int
+    nbytes: int
+
+    @classmethod
+    def from_blob(cls, blob) -> "SampleStats":
+        sid, n_nodes, n_edges, f_dim, y_dim = peek_header(blob)
+        return cls(
+            sample_id=sid,
+            n_nodes=n_nodes,
+            n_edges=n_edges,
+            feature_dim=f_dim,
+            output_dim=y_dim,
+            nbytes=len(blob),
+        )
+
+
+class SampleReader(Protocol):
+    """Timed random access to one dataset's samples."""
+
+    n_samples: int
+
+    def read_sample(
+        self, index: int, node_index: int, arrival: float
+    ) -> tuple[AtomicGraph, float]:
+        """Return (graph, virtual completion time incl. decode)."""
+        ...
+
+    def read_sample_raw(
+        self, index: int, node_index: int, arrival: float
+    ) -> tuple[bytes, float]:
+        """Return (packed bytes, completion time without decode)."""
+        ...
+
+    def read_sample_stats(
+        self, index: int, node_index: int, arrival: float
+    ) -> "tuple[SampleStats, float]":
+        """Same timing as read_sample, header-only wall work."""
+        ...
+
+    def sample_nbytes(self, index: int) -> int: ...
+
+
+def decode_time(machine: MachineSpec, nbytes: int) -> float:
+    """CPU cost of deserialising one packed sample (pickle.loads analogue)."""
+    return machine.pickle_load_base_s + nbytes * machine.pickle_load_s_per_byte
+
+
+# ---------------------------------------------------------------------------
+# PFF
+# ---------------------------------------------------------------------------
+
+
+def _pff_path(root: str, index: int) -> str:
+    return f"{root}/{index:09d}.pkl"  # zero-padded flat layout
+
+
+class PFFWriter:
+    """Materialise a generator as one file per sample."""
+
+    @staticmethod
+    def write(vfs: VirtualFS, root: str, generator: GraphGenerator) -> list[str]:
+        paths = []
+        for i in range(len(generator)):
+            path = _pff_path(root, i)
+            vfs.create(path, pack_graph(generator.make(i)))
+            paths.append(path)
+        return paths
+
+
+@dataclass
+class PFFReader:
+    """Training-time PFF access: open + read + decode per sample."""
+
+    vfs: VirtualFS
+    root: str
+    n_samples: int
+    machine: MachineSpec
+
+    def __post_init__(self) -> None:
+        if self.n_samples < 1:
+            raise ValueError("PFFReader needs at least one sample")
+        probe = _pff_path(self.root, 0)
+        if not self.vfs.exists(probe):
+            raise FileNotFoundError(f"PFF dataset not found under {self.root!r}")
+        self._rng = RngRegistry("pff-reader", self.root)
+
+    def _software_time(self) -> float:
+        jit = float(self._rng.get("sw").lognormal(mean=-0.5 * _SOFTWARE_JITTER_SIGMA**2,
+                                                  sigma=_SOFTWARE_JITTER_SIGMA))
+        return self.machine.file_read_software_s * jit
+
+    def sample_nbytes(self, index: int) -> int:
+        return self.vfs.stat(_pff_path(self.root, index)).size
+
+    def read_sample_raw(
+        self, index: int, node_index: int, arrival: float
+    ) -> tuple[bytes, float]:
+        """Timed open + read of the packed sample (decode not included)."""
+        path = _pff_path(self.root, index)
+        f, t_open = self.vfs.open_timed(path, arrival)
+        data, timing = self.vfs.read_timed(f, node_index, 0, f.size, t_open)
+        return data, timing.completion + self._software_time()
+
+    def read_sample(
+        self, index: int, node_index: int, arrival: float
+    ) -> tuple[AtomicGraph, float]:
+        data, done = self.read_sample_raw(index, node_index, arrival)
+        return unpack_graph(data), done + decode_time(self.machine, len(data))
+
+    def read_sample_stats(
+        self, index: int, node_index: int, arrival: float
+    ) -> tuple[SampleStats, float]:
+        """Same timing as :meth:`read_sample`, header-only wall-clock work."""
+        data, done = self.read_sample_raw(index, node_index, arrival)
+        return SampleStats.from_blob(data), done + decode_time(self.machine, len(data))
+
+
+# ---------------------------------------------------------------------------
+# CFF
+# ---------------------------------------------------------------------------
+
+_CFF_INDEX_HEADER = struct.Struct("<4sIQ")  # magic, n_subfiles, n_samples
+_CFF_MAGIC = b"CFX1"
+
+
+@dataclass
+class CFFIndex:
+    """Per-sample location table: (subfile, offset, size)."""
+
+    subfile: np.ndarray  # (n,) int32
+    offset: np.ndarray  # (n,) int64
+    size: np.ndarray  # (n,) int64
+    n_subfiles: int
+
+    @property
+    def n_samples(self) -> int:
+        return int(self.subfile.size)
+
+    def to_bytes(self) -> bytes:
+        header = _CFF_INDEX_HEADER.pack(_CFF_MAGIC, self.n_subfiles, self.n_samples)
+        return b"".join(
+            (
+                header,
+                self.subfile.astype(np.int32).tobytes(),
+                self.offset.astype(np.int64).tobytes(),
+                self.size.astype(np.int64).tobytes(),
+            )
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "CFFIndex":
+        magic, n_subfiles, n = _CFF_INDEX_HEADER.unpack_from(data, 0)
+        if magic != _CFF_MAGIC:
+            raise ValueError(f"bad CFF index magic {magic!r}")
+        off = _CFF_INDEX_HEADER.size
+        subfile = np.frombuffer(data, np.int32, n, off)
+        off += 4 * n
+        offset = np.frombuffer(data, np.int64, n, off)
+        off += 8 * n
+        size = np.frombuffer(data, np.int64, n, off)
+        return cls(
+            subfile=subfile.copy(), offset=offset.copy(), size=size.copy(), n_subfiles=n_subfiles
+        )
+
+
+def _cff_subfile_path(root: str, k: int) -> str:
+    return f"{root}/data.{k}.bin"
+
+
+def _cff_index_path(root: str) -> str:
+    return f"{root}/index.bin"
+
+
+class CFFWriter:
+    """Pack a generator into ``n_subfiles`` containers + an index file.
+
+    ``logical_scale`` makes the scaled-down container *time* like the
+    paper's full-size one (see :mod:`repro.storage.vfs`).
+    """
+
+    @staticmethod
+    def write(
+        vfs: VirtualFS,
+        root: str,
+        generator: GraphGenerator,
+        *,
+        n_subfiles: int = 8,
+        logical_scale: float = 1.0,
+    ) -> CFFIndex:
+        n = len(generator)
+        n_subfiles = max(1, min(n_subfiles, n))
+        for k in range(n_subfiles):
+            vfs.create(_cff_subfile_path(root, k), logical_scale=logical_scale)
+        subfiles = np.empty(n, np.int32)
+        offsets = np.empty(n, np.int64)
+        sizes = np.empty(n, np.int64)
+        for i in range(n):
+            blob = pack_graph(generator.make(i))
+            k = i % n_subfiles  # round-robin, like ADIOS aggregators
+            subfiles[i] = k
+            offsets[i] = vfs.append(_cff_subfile_path(root, k), blob)
+            sizes[i] = len(blob)
+        index = CFFIndex(subfile=subfiles, offset=offsets, size=sizes, n_subfiles=n_subfiles)
+        vfs.create(_cff_index_path(root), index.to_bytes())
+        return index
+
+
+class CFFReader:
+    """Training-time CFF access: random reads inside shared containers."""
+
+    def __init__(self, vfs: VirtualFS, root: str, machine: MachineSpec) -> None:
+        self.vfs = vfs
+        self.root = root
+        self.machine = machine
+        index_file = vfs.stat(_cff_index_path(root))
+        self.index = CFFIndex.from_bytes(bytes(index_file.data))
+        self.n_samples = self.index.n_samples
+        self._subfile_handles = [
+            vfs.stat(_cff_subfile_path(root, k)) for k in range(self.index.n_subfiles)
+        ]
+        self._rng = RngRegistry("cff-reader", root)
+
+    def _software_time(self) -> float:
+        jit = float(self._rng.get("sw").lognormal(mean=-0.5 * _SOFTWARE_JITTER_SIGMA**2,
+                                                  sigma=_SOFTWARE_JITTER_SIGMA))
+        return self.machine.file_read_software_s * jit
+
+    def load_index_timed(self, node_index: int, arrival: float) -> float:
+        """Charge the one-time index load performed at startup."""
+        _data, done = self.vfs.read_whole_timed(_cff_index_path(self.root), node_index, arrival)
+        return done
+
+    def sample_nbytes(self, index: int) -> int:
+        return int(self.index.size[index])
+
+    def read_sample_raw(
+        self, index: int, node_index: int, arrival: float
+    ) -> tuple[bytes, float]:
+        """Timed random read inside the container (decode not included)."""
+        k = int(self.index.subfile[index])
+        off = int(self.index.offset[index])
+        size = int(self.index.size[index])
+        f = self._subfile_handles[k]
+        data, timing = self.vfs.read_timed(f, node_index, off, size, arrival)
+        return data, timing.completion + self._software_time()
+
+    def read_chunk_raw(
+        self, lo: int, hi: int, node_index: int, arrival: float
+    ) -> tuple[list[bytes], float]:
+        """Bulk sequential read of samples [lo, hi) — the preload fast path.
+
+        Round-robin placement makes a contiguous id range occupy one
+        contiguous byte span per subfile, so the whole chunk streams in
+        ``n_subfiles`` large sequential reads instead of per-sample ones.
+        """
+        if not 0 <= lo <= hi <= self.n_samples:
+            raise IndexError(f"chunk [{lo}, {hi}) out of range")
+        blobs: dict[int, bytes] = {}
+        t = arrival
+        ids = np.arange(lo, hi)
+        for k in np.unique(self.index.subfile[lo:hi]) if hi > lo else []:
+            sel = ids[self.index.subfile[lo:hi] == k]
+            offs = self.index.offset[sel]
+            sizes = self.index.size[sel]
+            span_lo = int(offs.min())
+            span_hi = int((offs + sizes).max())
+            f = self._subfile_handles[int(k)]
+            data, timing = self.vfs.read_timed(
+                f, node_index, span_lo, span_hi - span_lo, t, sequential=True
+            )
+            t = timing.completion + self._software_time()
+            for i, off, size in zip(sel, offs, sizes):
+                blobs[int(i)] = data[off - span_lo : off - span_lo + size]
+        return [blobs[i] for i in range(lo, hi)], t
+
+    def read_sample(
+        self, index: int, node_index: int, arrival: float
+    ) -> tuple[AtomicGraph, float]:
+        data, done = self.read_sample_raw(index, node_index, arrival)
+        return unpack_graph(data), done + decode_time(self.machine, len(data))
+
+    def read_sample_stats(
+        self, index: int, node_index: int, arrival: float
+    ) -> tuple[SampleStats, float]:
+        """Same timing as :meth:`read_sample`, header-only wall-clock work."""
+        data, done = self.read_sample_raw(index, node_index, arrival)
+        return SampleStats.from_blob(data), done + decode_time(self.machine, len(data))

@@ -1,0 +1,121 @@
+"""Binary codec for :class:`~repro.graphs.AtomicGraph` samples.
+
+A compact, self-describing, versioned format (stand-in for Python pickle
+in PFF and for ADIOS variable blocks in CFF).  Layout, little-endian:
+
+    magic   4s   b"AGRF"
+    version u16
+    flags   u16  (reserved)
+    id      i64  sample_id
+    n_nodes u32
+    n_edges u32
+    f_dim   u32
+    y_dim   u32
+    positions   f32[n_nodes * 3]
+    features    f32[n_nodes * f_dim]
+    edge_index  i32[2 * n_edges]
+    y           f32[y_dim]
+
+All readers accept ``bytes``/``memoryview``/``np.uint8`` buffers, so RMA
+payloads decode without extra copies.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from ..graphs import AtomicGraph
+
+__all__ = ["pack_graph", "unpack_graph", "packed_size", "peek_header", "CodecError"]
+
+MAGIC = b"AGRF"
+VERSION = 1
+_HEADER = struct.Struct("<4sHHqIIII")
+
+
+class CodecError(ValueError):
+    """Raised when a buffer does not contain a valid packed graph."""
+
+
+def packed_size(n_nodes: int, n_edges: int, feature_dim: int, output_dim: int) -> int:
+    """Exact byte size of a packed graph with the given shape."""
+    return (
+        _HEADER.size
+        + 4 * (n_nodes * 3)
+        + 4 * (n_nodes * feature_dim)
+        + 4 * (2 * n_edges)
+        + 4 * output_dim
+    )
+
+
+def pack_graph(graph: AtomicGraph) -> bytes:
+    """Serialise a graph to bytes."""
+    header = _HEADER.pack(
+        MAGIC,
+        VERSION,
+        0,
+        graph.sample_id,
+        graph.n_nodes,
+        graph.n_edges,
+        graph.feature_dim,
+        graph.output_dim,
+    )
+    return b"".join(
+        (
+            header,
+            graph.positions.tobytes(),
+            graph.node_features.tobytes(),
+            graph.edge_index.tobytes(),
+            graph.y.tobytes(),
+        )
+    )
+
+
+def peek_header(buf) -> tuple[int, int, int, int, int]:
+    """Return (sample_id, n_nodes, n_edges, feature_dim, output_dim)."""
+    mv = _as_memoryview(buf)
+    if len(mv) < _HEADER.size:
+        raise CodecError(f"buffer too small for header: {len(mv)} bytes")
+    magic, version, _flags, sid, n_nodes, n_edges, f_dim, y_dim = _HEADER.unpack_from(mv, 0)
+    if magic != MAGIC:
+        raise CodecError(f"bad magic {magic!r}")
+    if version != VERSION:
+        raise CodecError(f"unsupported codec version {version}")
+    return sid, n_nodes, n_edges, f_dim, y_dim
+
+
+def unpack_graph(buf) -> AtomicGraph:
+    """Deserialise a packed graph; validates sizes and magic."""
+    mv = _as_memoryview(buf)
+    sid, n_nodes, n_edges, f_dim, y_dim = peek_header(mv)
+    expected = packed_size(n_nodes, n_edges, f_dim, y_dim)
+    if len(mv) < expected:
+        raise CodecError(f"truncated graph: {len(mv)} < {expected} bytes")
+    off = _HEADER.size
+
+    def take(count: int, dtype) -> np.ndarray:
+        nonlocal off
+        nbytes = count * 4
+        arr = np.frombuffer(mv, dtype=dtype, count=count, offset=off)
+        off += nbytes
+        return arr
+
+    positions = take(n_nodes * 3, np.float32).reshape(n_nodes, 3)
+    features = take(n_nodes * f_dim, np.float32).reshape(n_nodes, f_dim)
+    edge_index = take(2 * n_edges, np.int32).reshape(2, n_edges)
+    y = take(y_dim, np.float32)
+    return AtomicGraph(
+        positions=positions.copy(),
+        node_features=features.copy(),
+        edge_index=edge_index.copy(),
+        y=y.copy(),
+        sample_id=sid,
+    )
+
+
+def _as_memoryview(buf) -> memoryview:
+    if isinstance(buf, np.ndarray):
+        return memoryview(np.ascontiguousarray(buf).view(np.uint8)).cast("B")
+    return memoryview(buf).cast("B")

@@ -1,0 +1,167 @@
+"""Virtual filesystem: real bytes, simulated parallel-filesystem timing.
+
+Files live in memory (the training data really round-trips through them,
+so correctness is testable) while every open/read/write is priced by the
+:class:`~repro.hardware.ParallelFileSystem` model, including per-node page
+caching and MDS/OST queueing.
+
+``logical_scale`` lets a small physical file *behave* like the paper's
+TB-scale containers: cache-block and OST-stripe addressing use the scaled
+offset, so cache capacity covers only ``1/scale`` of the file — exactly
+the residency ratio the full-size dataset would have — while transfer
+sizes (and therefore per-read wire time) stay honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..hardware import IoTiming, ParallelFileSystem
+from ..sim.rng import derive_seed
+
+__all__ = ["VirtualFile", "VirtualFS", "FileNotFound", "FileExists"]
+
+
+class FileNotFound(FileNotFoundError):
+    pass
+
+
+class FileExists(FileExistsError):
+    pass
+
+
+@dataclass
+class VirtualFile:
+    file_id: int
+    path: str
+    data: bytearray = field(default_factory=bytearray)
+    logical_scale: float = 1.0
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+    @property
+    def logical_size(self) -> int:
+        return int(len(self.data) * self.logical_scale)
+
+
+class VirtualFS:
+    """A namespace of virtual files bound to one PFS timing model."""
+
+    def __init__(self, pfs: ParallelFileSystem) -> None:
+        self.pfs = pfs
+        self._files: dict[str, VirtualFile] = {}
+        self._next_id = 1
+
+    # -- namespace -----------------------------------------------------------
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def listdir(self, prefix: str) -> list[str]:
+        prefix = prefix.rstrip("/") + "/"
+        return sorted(p for p in self._files if p.startswith(prefix))
+
+    def stat(self, path: str) -> VirtualFile:
+        try:
+            return self._files[path]
+        except KeyError:
+            raise FileNotFound(path) from None
+
+    def unlink(self, path: str) -> None:
+        if path not in self._files:
+            raise FileNotFound(path)
+        del self._files[path]
+
+    # -- writing (dataset preparation; timed coarsely) -------------------------
+    def create(
+        self,
+        path: str,
+        data: bytes | bytearray = b"",
+        *,
+        logical_scale: float = 1.0,
+        overwrite: bool = False,
+    ) -> VirtualFile:
+        if path in self._files and not overwrite:
+            raise FileExists(path)
+        if logical_scale < 1.0:
+            raise ValueError("logical_scale must be >= 1")
+        f = VirtualFile(
+            file_id=self._next_id,
+            path=path,
+            data=bytearray(data),
+            logical_scale=logical_scale,
+        )
+        self._next_id += 1
+        self._files[path] = f
+        return f
+
+    def append(self, path: str, data: bytes) -> int:
+        """Append bytes; returns the offset the data landed at."""
+        f = self.stat(path)
+        offset = len(f.data)
+        f.data.extend(data)
+        return offset
+
+    def write_timed(self, path: str, node_index: int, arrival: float) -> float:
+        """Charge the PFS for flushing the file's current contents."""
+        f = self.stat(path)
+        return self.pfs.write(node_index, f.file_id, max(f.size, 1), arrival)
+
+    # -- reading (the training hot path) ----------------------------------------
+    def open_timed(self, path: str, arrival: float) -> tuple[VirtualFile, float]:
+        """Metadata-op open; returns (file, completion_time)."""
+        f = self.stat(path)
+        done = self.pfs.metadata_op(derive_seed("path", path), arrival)
+        return f, done
+
+    def read_timed(
+        self,
+        path_or_file: str | VirtualFile,
+        node_index: int,
+        offset: int,
+        nbytes: int,
+        arrival: float,
+        *,
+        sequential: bool = False,
+    ) -> tuple[bytes, IoTiming]:
+        """Read real bytes and charge the PFS model.
+
+        Timing uses the file's *logical* offset so scaled containers show
+        realistic cache behaviour (see module docstring).
+        """
+        f = self.stat(path_or_file) if isinstance(path_or_file, str) else path_or_file
+        if offset < 0 or nbytes < 0 or offset + nbytes > f.size:
+            raise ValueError(
+                f"read [{offset}, {offset + nbytes}) out of range for "
+                f"{f.path!r} ({f.size} bytes)"
+            )
+        data = bytes(f.data[offset : offset + nbytes])
+        logical_offset = int(offset * f.logical_scale)
+        timing = self.pfs.read(
+            node_index,
+            f.file_id,
+            logical_offset,
+            nbytes,
+            arrival,
+            sequential=sequential,
+        )
+        return data, timing
+
+    def read_whole_timed(
+        self, path: str, node_index: int, arrival: float
+    ) -> tuple[bytes, float]:
+        """Open + stream the whole file sequentially; returns (bytes, done)."""
+        f, t_open = self.open_timed(path, arrival)
+        chunk = 8 * 2**20
+        t = t_open
+        out = bytearray()
+        for off in range(0, max(f.size, 1), chunk):
+            n = min(chunk, f.size - off)
+            if n <= 0:
+                break
+            data, timing = self.read_timed(f, node_index, off, n, t, sequential=True)
+            out.extend(data)
+            t = timing.completion
+        return bytes(out), t

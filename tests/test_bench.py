@@ -1,0 +1,196 @@
+"""Tests for the benchmark harness: metrics, reporting, experiment runs."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    ExperimentConfig,
+    cdf,
+    geomean,
+    latency_percentiles,
+    packed_blobs,
+    percentile,
+    render_table,
+    run_experiment,
+    speedup_table,
+    write_report,
+)
+from repro.bench.harness import METHODS, clear_blob_cache
+from repro.bench.metrics import fmt_ms, fmt_seconds
+
+
+# ---------------------------------------------------------------------------
+# metrics
+# ---------------------------------------------------------------------------
+
+def test_percentile_and_table2_summary():
+    values = np.arange(1, 101, dtype=float)
+    assert percentile(values, 50) == pytest.approx(50.5)
+    pcts = latency_percentiles(values)
+    assert set(pcts) == {50, 95, 99}
+    assert pcts[99] > pcts[95] > pcts[50]
+    with pytest.raises(ValueError):
+        percentile(np.array([]), 50)
+
+
+def test_cdf_monotone_and_thinned():
+    rng = np.random.default_rng(0)
+    values = rng.exponential(size=1000)
+    xs, fs = cdf(values)
+    assert np.all(np.diff(xs) >= 0)
+    assert fs[-1] == pytest.approx(1.0)
+    xs2, fs2 = cdf(values, n_points=50)
+    assert xs2.size == 50
+    with pytest.raises(ValueError):
+        cdf(np.array([]))
+
+
+def test_geomean():
+    assert geomean([1, 4, 16]) == pytest.approx(4.0)
+    with pytest.raises(ValueError):
+        geomean([1, -1])
+    with pytest.raises(ValueError):
+        geomean([])
+
+
+def test_speedup_table_normalises_to_baseline():
+    out = speedup_table({"pff": 10.0, "ddstore": 45.0}, "pff")
+    assert out == {"pff": 1.0, "ddstore": 4.5}
+    with pytest.raises(KeyError):
+        speedup_table({"a": 1.0}, "pff")
+    with pytest.raises(ValueError):
+        speedup_table({"pff": 0.0}, "pff")
+
+
+def test_formatters():
+    assert fmt_ms(0.00125) == "1.25 ms"
+    assert fmt_seconds(2.5) == "2.50 s"
+    assert fmt_seconds(0.0025) == "2.50 ms"
+    assert fmt_seconds(2.5e-6) == "2.5 us"
+
+
+# ---------------------------------------------------------------------------
+# reporting
+# ---------------------------------------------------------------------------
+
+def test_render_table_alignment():
+    text = render_table(["A", "B"], [["x", 1.0], ["yy", 123456.0]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "x" in text and "123,456" in text
+
+
+def test_write_report_creates_files(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    path = write_report("unit", "hello table", data={"x": np.arange(3)})
+    assert os.path.exists(path)
+    assert os.path.exists(str(tmp_path / "unit.json"))
+    assert "hello table" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# harness
+# ---------------------------------------------------------------------------
+
+def test_config_validation():
+    with pytest.raises(ValueError, match="method"):
+        ExperimentConfig(method="zeromq")
+    with pytest.raises(ValueError, match="dataset"):
+        ExperimentConfig(dataset="imagenet")
+    with pytest.raises(ValueError):
+        ExperimentConfig(batch_size=0)
+    cfg = ExperimentConfig(machine="perlmutter", n_nodes=2, batch_size=4, steps_per_epoch=3)
+    assert cfg.n_ranks == 8
+    assert cfg.resolved_samples() == 8 * 4 * 3
+    assert cfg.with_method("pff").method == "pff"
+    assert set(METHODS) == {"pff", "cff", "ddstore", "ddstore-p2p", "nvme"}
+
+
+def test_packed_blobs_cached_and_deterministic():
+    clear_blob_cache()
+    a = packed_blobs("ising", 0, 4)
+    b = packed_blobs("ising", 0, 8)
+    assert b[:4] == a  # prefix stability: growing the cache keeps old blobs
+    c = packed_blobs("ising", 0, 8)
+    assert c == b
+
+
+@pytest.mark.parametrize("method", ["pff", "cff", "ddstore"])
+def test_run_experiment_tiny(method):
+    cfg = ExperimentConfig(
+        machine="perlmutter",
+        n_nodes=1,
+        dataset="ising",
+        method=method,
+        batch_size=4,
+        steps_per_epoch=2,
+    )
+    r = run_experiment(cfg)
+    assert r.total_samples == 4 * 4 * 2  # ranks * batch * steps
+    assert r.elapsed > 0
+    assert r.throughput > 0
+    assert r.latencies.shape == (32,)
+    assert np.all(r.latencies > 0)
+    assert r.phases.seconds["cpu_loading"] > 0
+    assert r.phases.seconds["gpu_comm"] > 0
+    if method == "ddstore":
+        assert r.preload_time > 0
+        assert r.mpi_stats.count_by_call["MPI_Get"] > 0
+
+
+def test_run_experiment_shape_ddstore_beats_pff():
+    def thr(method):
+        return run_experiment(
+            ExperimentConfig(
+                machine="perlmutter",
+                n_nodes=2,
+                dataset="aisd",
+                method=method,
+                batch_size=8,
+                steps_per_epoch=2,
+            )
+        ).throughput
+
+    assert thr("ddstore") > 1.3 * thr("pff")  # the headline result, in miniature
+
+
+def test_run_experiment_width_parameter():
+    cfg = ExperimentConfig(
+        machine="perlmutter",
+        n_nodes=2,
+        dataset="ising",
+        method="ddstore",
+        width=4,
+        batch_size=4,
+        steps_per_epoch=1,
+    )
+    r = run_experiment(cfg)
+    assert r.throughput > 0
+
+
+def test_run_experiment_p2p_ablation_slower():
+    def elapsed(method):
+        return run_experiment(
+            ExperimentConfig(
+                machine="perlmutter",
+                n_nodes=2,
+                dataset="ising",
+                method=method,
+                batch_size=8,
+                steps_per_epoch=2,
+            )
+        ).elapsed
+
+    assert elapsed("ddstore-p2p") > elapsed("ddstore")
+
+
+def test_experiment_deterministic():
+    cfg = ExperimentConfig(
+        machine="perlmutter", n_nodes=1, dataset="ising", method="ddstore",
+        batch_size=4, steps_per_epoch=1,
+    )
+    a, b = run_experiment(cfg), run_experiment(cfg)
+    assert a.elapsed == b.elapsed
+    assert np.array_equal(a.latencies, b.latencies)

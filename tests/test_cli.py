@@ -1,0 +1,47 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("fig4", "table2", "fig13", "ablation-nvme"):
+        assert name in out
+
+
+def test_machines_command(capsys):
+    assert main(["machines"]) == 0
+    out = capsys.readouterr().out
+    assert "summit" in out and "perlmutter" in out
+    assert "1.6 TB/node" in out  # Summit burst buffer
+    assert "none" in out  # Perlmutter has no node-local NVMe
+
+
+def test_datasets_command(capsys):
+    assert main(["datasets", "--samples", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "Ising" in out and "AISD" in out
+
+
+def test_run_unknown_experiment(capsys):
+    assert main(["run", "fig99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_run_single_experiment(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "tiny")
+    assert main(["run", "table1"]) == 0
+    assert os.path.exists(tmp_path / "table1.txt")
+    assert "Table 1" in capsys.readouterr().out
+
+
+def test_experiment_registry_complete():
+    # Every paper table/figure is runnable from the CLI.
+    for key in ("table1", "table2", "table3") + tuple(f"fig{i}" for i in range(4, 14)):
+        assert key in EXPERIMENTS

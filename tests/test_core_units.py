@@ -1,0 +1,224 @@
+"""Unit tests for DDStore building blocks: config, chunking, registry, samplers."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ChunkLayout,
+    ChunkRegistry,
+    DDStoreConfig,
+    GlobalShuffleSampler,
+    LocalShuffleSampler,
+    balanced_partition,
+    iter_batches,
+)
+
+
+# ---------------------------------------------------------------------------
+# config
+# ---------------------------------------------------------------------------
+
+def test_config_default_width_is_single_replica():
+    cfg = DDStoreConfig(n_ranks=64)
+    assert cfg.effective_width == 64
+    assert cfg.n_replicas == 1
+
+
+def test_config_paper_example_1024_ranks_width_128():
+    # Paper 3.1: N=1024, w=128 -> 8 groups of 128.
+    cfg = DDStoreConfig(n_ranks=1024, width=128)
+    assert cfg.n_replicas == 8
+    assert cfg.group_of_rank(0) == 0
+    assert cfg.group_of_rank(127) == 0
+    assert cfg.group_of_rank(128) == 1
+    assert cfg.group_of_rank(1023) == 7
+    assert cfg.group_rank(129) == 1
+
+
+def test_config_width_must_divide_ranks():
+    with pytest.raises(ValueError, match="must divide"):
+        DDStoreConfig(n_ranks=10, width=3)
+
+
+def test_config_width_bounds():
+    with pytest.raises(ValueError):
+        DDStoreConfig(n_ranks=4, width=8)
+    with pytest.raises(ValueError):
+        DDStoreConfig(n_ranks=4, width=0)
+    with pytest.raises(ValueError):
+        DDStoreConfig(n_ranks=0)
+
+
+def test_config_unknown_framework():
+    with pytest.raises(ValueError, match="framework"):
+        DDStoreConfig(n_ranks=4, framework="smoke-signals")
+
+
+def test_config_rank_range_checks():
+    cfg = DDStoreConfig(n_ranks=8, width=4)
+    with pytest.raises(ValueError):
+        cfg.group_of_rank(8)
+
+
+# ---------------------------------------------------------------------------
+# chunking
+# ---------------------------------------------------------------------------
+
+def test_balanced_partition_exact_division():
+    b = balanced_partition(100, 4)
+    assert np.array_equal(b, [0, 25, 50, 75, 100])
+
+
+def test_balanced_partition_remainder_spreads():
+    b = balanced_partition(10, 3)
+    assert np.array_equal(b, [0, 4, 7, 10])
+    sizes = np.diff(b)
+    assert sizes.max() - sizes.min() <= 1
+
+
+def test_balanced_partition_errors():
+    with pytest.raises(ValueError):
+        balanced_partition(-1, 2)
+    with pytest.raises(ValueError):
+        balanced_partition(10, 0)
+
+
+def test_layout_owner_and_local_index():
+    layout = ChunkLayout.build(10, 3)  # bounds [0,4,7,10]
+    assert layout.owner_of(0) == 0
+    assert layout.owner_of(3) == 0
+    assert layout.owner_of(4) == 1
+    assert layout.owner_of(9) == 2
+    assert layout.local_index(5) == 1
+    assert layout.chunk_range(1) == (4, 7)
+    assert layout.chunk_size(2) == 3
+    assert layout.max_chunk_size == 4
+
+
+def test_layout_vectorised_owner():
+    layout = ChunkLayout.build(10, 3)
+    owners = layout.owner_of(np.array([0, 4, 9]))
+    assert np.array_equal(owners, [0, 1, 2])
+
+
+def test_layout_out_of_range():
+    layout = ChunkLayout.build(10, 3)
+    with pytest.raises(IndexError):
+        layout.owner_of(10)
+    with pytest.raises(IndexError):
+        layout.owner_of(-1)
+    with pytest.raises(IndexError):
+        layout.chunk_range(3)
+
+
+def test_layout_every_sample_owned_exactly_once():
+    layout = ChunkLayout.build(1013, 7)  # awkward prime size
+    seen = []
+    for r in range(7):
+        lo, hi = layout.chunk_range(r)
+        seen.extend(range(lo, hi))
+    assert seen == list(range(1013))
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+def _registry():
+    layout = ChunkLayout.build(7, 2)  # chunks: [0,4), [4,7)
+    sizes = [np.array([10, 20, 30, 40]), np.array([5, 6, 7])]
+    return ChunkRegistry.from_sample_sizes(layout, sizes)
+
+
+def test_registry_locate_single():
+    reg = _registry()
+    assert reg.locate(0) == (0, 0, 10)
+    assert reg.locate(2) == (0, 30, 30)
+    assert reg.locate(4) == (1, 0, 5)
+    assert reg.locate(6) == (1, 11, 7)
+
+
+def test_registry_locate_batch_matches_scalar():
+    reg = _registry()
+    owners, offs, sizes = reg.locate_batch(np.arange(7))
+    for g in range(7):
+        assert (int(owners[g]), int(offs[g]), int(sizes[g])) == reg.locate(g)
+
+
+def test_registry_buffer_bytes():
+    reg = _registry()
+    assert reg.buffer_bytes(0) == 100
+    assert reg.buffer_bytes(1) == 18
+    assert reg.total_bytes == 118
+
+
+def test_registry_size_table_validation():
+    layout = ChunkLayout.build(7, 2)
+    with pytest.raises(ValueError, match="sample sizes"):
+        ChunkRegistry.from_sample_sizes(layout, [np.array([1, 2]), np.array([3, 4, 5])])
+    with pytest.raises(ValueError, match="one offset table"):
+        ChunkRegistry(layout=layout, offsets=[np.array([0, 1, 2, 3, 4])])
+
+
+# ---------------------------------------------------------------------------
+# samplers
+# ---------------------------------------------------------------------------
+
+def test_global_shuffle_partitions_whole_dataset():
+    n, ranks = 100, 4
+    all_ids = np.concatenate(
+        [GlobalShuffleSampler(n, ranks, r, seed=1).epoch_indices(0) for r in range(ranks)]
+    )
+    assert sorted(all_ids.tolist()) == list(range(100))
+
+
+def test_global_shuffle_changes_across_epochs():
+    s = GlobalShuffleSampler(100, 4, 0, seed=1)
+    e0, e1 = s.epoch_indices(0), s.epoch_indices(1)
+    assert not np.array_equal(e0, e1)
+    assert np.array_equal(e0, GlobalShuffleSampler(100, 4, 0, seed=1).epoch_indices(0))
+
+
+def test_global_shuffle_rank_sees_fresh_data_each_epoch():
+    # With global shuffling a rank's epoch sets differ — the generality
+    # motivation of the paper.
+    s = GlobalShuffleSampler(1000, 8, 3, seed=0)
+    overlap = np.intersect1d(s.epoch_indices(0), s.epoch_indices(1)).size
+    assert overlap < s.per_rank * 0.5
+
+
+def test_global_shuffle_tail_dropped():
+    s = GlobalShuffleSampler(103, 4, 0)
+    assert s.per_rank == 25
+    assert s.epoch_indices(0).size == 25
+
+
+def test_local_shuffle_stays_in_shard():
+    s = LocalShuffleSampler(100, 4, 2, seed=0)
+    lo, hi = s.shard_range
+    idx = s.epoch_indices(5)
+    assert idx.min() >= lo and idx.max() < hi
+
+
+def test_local_shuffle_same_shard_every_epoch():
+    s = LocalShuffleSampler(100, 4, 1, seed=0)
+    assert set(s.epoch_indices(0).tolist()) == set(s.epoch_indices(7).tolist())
+
+
+def test_sampler_rank_validation():
+    with pytest.raises(ValueError):
+        GlobalShuffleSampler(10, 2, 2)
+    with pytest.raises(ValueError):
+        LocalShuffleSampler(10, 2, -1)
+    with pytest.raises(ValueError):
+        GlobalShuffleSampler(1, 2, 0)
+
+
+def test_iter_batches_drop_last():
+    idx = np.arange(10)
+    batches = list(iter_batches(idx, 3))
+    assert [b.tolist() for b in batches] == [[0, 1, 2], [3, 4, 5], [6, 7, 8]]
+    batches = list(iter_batches(idx, 3, drop_last=False))
+    assert batches[-1].tolist() == [9]
+    with pytest.raises(ValueError):
+        list(iter_batches(idx, 0))

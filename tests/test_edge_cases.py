@@ -1,0 +1,205 @@
+"""Edge-case coverage across modules: RNG, reductions, stations, trainer."""
+
+import numpy as np
+import pytest
+
+from repro.gnn import GradPayload, PhaseTimes
+from repro.hardware import TESTBOX
+from repro.mpi import run_world, sizeof
+from repro.mpi.datatypes import REDUCTIONS, reduce_values
+from repro.sim import Engine, FluidStation, RngRegistry, derive_seed, stream
+
+
+# ---------------------------------------------------------------------------
+# RNG streams
+# ---------------------------------------------------------------------------
+
+def test_stream_keys_are_order_independent():
+    a1 = stream("x", 1).normal(size=4)
+    _ = stream("y", 2).normal(size=4)
+    a2 = stream("x", 1).normal(size=4)
+    assert np.array_equal(a1, a2)
+
+
+def test_stream_distinct_keys_differ():
+    assert not np.array_equal(stream("a").normal(size=8), stream("b").normal(size=8))
+
+
+def test_derive_seed_stable_and_sensitive():
+    assert derive_seed("k", 1) == derive_seed("k", 1)
+    assert derive_seed("k", 1) != derive_seed("k", 2)
+    assert derive_seed("k", "1") != derive_seed("k", 1)  # type-sensitive
+
+
+def test_rng_registry_caches_and_advances():
+    reg = RngRegistry("base")
+    g1 = reg.get("s")
+    v1 = g1.normal()
+    g2 = reg.get("s")
+    assert g1 is g2  # same stream object
+    v2 = g2.normal()
+    assert v1 != v2  # stream advanced, not reset
+
+
+# ---------------------------------------------------------------------------
+# reductions
+# ---------------------------------------------------------------------------
+
+def test_all_named_reductions():
+    assert reduce_values([2, 3, 4], "sum") == 9
+    assert reduce_values([2, 3, 4], "prod") == 24
+    assert reduce_values([2, 3, 4], "min") == 2
+    assert reduce_values([2, 3, 4], "max") == 4
+    assert reduce_values([True, False], "land") is False
+    assert reduce_values([True, False], "lor") is True
+    assert set(REDUCTIONS) == {"sum", "prod", "min", "max", "land", "lor"}
+
+
+def test_reduce_numpy_elementwise_minmax():
+    a = np.array([1.0, 5.0])
+    b = np.array([3.0, 2.0])
+    assert np.array_equal(reduce_values([a, b], "min"), [1.0, 2.0])
+    assert np.array_equal(reduce_values([a, b], "max"), [3.0, 5.0])
+
+
+def test_reduce_custom_callable_and_empty():
+    assert reduce_values([1, 2, 3], lambda x, y: x * 10 + y) == 123
+    with pytest.raises(ValueError):
+        reduce_values([], "sum")
+
+
+def test_sizeof_nested_structures():
+    assert sizeof([np.zeros(10), np.zeros(10)]) > 80
+    assert sizeof({"k": np.zeros(100)}) > 400
+    assert sizeof("hello") > 5
+    assert sizeof(GradPayload(12345)) == 12345  # nbytes attribute honoured
+
+
+# ---------------------------------------------------------------------------
+# FluidStation corner cases
+# ---------------------------------------------------------------------------
+
+def test_fluid_station_backlog_carries_across_buckets():
+    q = FluidStation(Engine(), bucket_s=1e-3)
+    # Book 5 ms of work into one 1 ms bucket.
+    q.serve(0.0, 5e-3)
+    # A request 1 bucket later still sees ~4 ms of backlog.
+    done = q.serve(1e-3, 1e-4)
+    assert done - 1e-3 > 3e-3
+
+
+def test_fluid_station_backlog_drains_over_gap():
+    q = FluidStation(Engine(), bucket_s=1e-3)
+    q.serve(0.0, 5e-3)
+    # 10 buckets later the backlog has fully drained.
+    done = q.serve(10e-3, 1e-4)
+    assert done == pytest.approx(10e-3 + 1e-4)
+
+
+def test_fluid_station_past_arrival_tolerated():
+    q = FluidStation(Engine(), bucket_s=1e-3)
+    q.serve(5e-3, 1e-4)
+    done = q.serve(1e-3, 1e-4)  # out-of-order pricing
+    assert done >= 1e-3 + 1e-4
+
+
+def test_fluid_station_validation():
+    with pytest.raises(ValueError):
+        FluidStation(Engine(), bucket_s=0)
+    q = FluidStation(Engine())
+    with pytest.raises(ValueError):
+        q.serve(0.0, -1.0)
+    q.serve(0.0, 1e-4)
+    q.reset()
+    assert q.jobs_served == 0 and q.carry == 0.0
+
+
+# ---------------------------------------------------------------------------
+# PhaseTimes
+# ---------------------------------------------------------------------------
+
+def test_phase_times_add_and_merge():
+    a, b = PhaseTimes(), PhaseTimes()
+    a.add("cpu_loading", 1.0)
+    b.add("cpu_loading", 2.0)
+    b.add("gpu_comm", 3.0)
+    merged = a.merged(b)
+    assert merged.seconds["cpu_loading"] == 3.0
+    assert merged.seconds["gpu_comm"] == 3.0
+    assert merged.total == 6.0
+    with pytest.raises(KeyError):
+        a.add("coffee_break", 1.0)
+
+
+# ---------------------------------------------------------------------------
+# MPI stats / world misc
+# ---------------------------------------------------------------------------
+
+def test_world_rejects_bad_ranks_per_node():
+    from repro.mpi import World
+
+    with pytest.raises(ValueError, match="ranks_per_node"):
+        World(TESTBOX, 1, ranks_per_node=7)
+
+
+def test_rank_context_properties():
+    def main(ctx):
+        yield ctx.engine.timeout(0)
+        return (ctx.node_index, ctx.size, ctx.now >= 0, ctx.gpu is not None)
+
+    job = run_world(TESTBOX, 2, main)
+    assert job.results[3] == (1, 4, True, True)  # rank 3 -> node 1
+
+
+def test_collective_time_reduce_and_gather_paths():
+    from repro.hardware import Cluster, Interconnect
+
+    net = Interconnect(Cluster(Engine(), TESTBOX, 2), jitter_sigma=0.0)
+    assert net.collective_time("reduce", 1024, 8) > 0
+    assert net.collective_time("gather", 1024, 8) > 0
+    assert net.collective_time("scatter", 1024, 8) > 0
+    # small allreduce uses the tree algorithm, large the ring
+    small = net.collective_time("allreduce", 64, 8)
+    large = net.collective_time("allreduce", 10 * 2**20, 8)
+    assert large > small
+
+
+# ---------------------------------------------------------------------------
+# VFS extras
+# ---------------------------------------------------------------------------
+
+def test_vfs_write_timed_and_unlink_missing():
+    from repro.hardware import ParallelFileSystem
+    from repro.storage import FileNotFound, VirtualFS
+
+    vfs = VirtualFS(ParallelFileSystem(Engine(), TESTBOX.pfs, 1))
+    vfs.create("f", b"payload")
+    assert vfs.write_timed("f", 0, arrival=0.0) > 0
+    with pytest.raises(FileNotFound):
+        vfs.unlink("missing")
+    with pytest.raises(FileNotFound):
+        vfs.read_timed("missing", 0, 0, 1, 0.0)
+
+
+# ---------------------------------------------------------------------------
+# spectra smoothing properties
+# ---------------------------------------------------------------------------
+
+def test_gaussian_smoothing_preserves_peak_locations():
+    from repro.graphs import gaussian_smooth_spectrum
+
+    peaks = np.array([3.0], dtype=np.float32)
+    intens = np.array([1.0], dtype=np.float32)
+    spec = gaussian_smooth_spectrum(peaks, intens, grid_size=701)
+    grid = np.linspace(1.0, 8.0, 701)
+    assert abs(grid[int(np.argmax(spec))] - 3.0) < 0.02
+    assert spec.max() == pytest.approx(1.0, abs=1e-3)
+
+
+def test_gaussian_smoothing_scales_with_intensity():
+    from repro.graphs import gaussian_smooth_spectrum
+
+    peaks = np.array([4.0], dtype=np.float32)
+    a = gaussian_smooth_spectrum(peaks, np.array([1.0], np.float32), 101)
+    b = gaussian_smooth_spectrum(peaks, np.array([2.0], np.float32), 101)
+    assert np.allclose(b, 2 * a)

@@ -1,0 +1,163 @@
+"""Tests for stats-mode datasets, preloader plugins, and loader parity.
+
+The performance sweeps run with ``stats_only=True`` (no real decode or
+collate); these tests pin the key invariant: *virtual time is identical
+in both modes* — only wall-clock work differs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BatchStats,
+    DataLoader,
+    DDStore,
+    DDStoreDataset,
+    FileDataset,
+    GeneratorSource,
+    ReaderSource,
+)
+from repro.graphs import IsingGenerator, MoleculeGenerator
+from repro.hardware import TESTBOX
+from repro.mpi import run_world
+from repro.storage import CFFReader, CFFWriter, PFFReader, PFFWriter, SampleStats, pack_graph
+
+
+def run(fn, n_nodes=2, **kw):
+    return run_world(TESTBOX, n_nodes, fn, **kw)
+
+
+# ---------------------------------------------------------------------------
+# SampleStats / BatchStats
+# ---------------------------------------------------------------------------
+
+def test_sample_stats_from_blob_matches_graph():
+    g = MoleculeGenerator(3, seed=0).make(1)
+    s = SampleStats.from_blob(pack_graph(g))
+    assert (s.sample_id, s.n_nodes, s.n_edges) == (1, g.n_nodes, g.n_edges)
+    assert s.feature_dim == g.feature_dim
+    assert s.output_dim == g.output_dim
+    assert s.nbytes == len(pack_graph(g))
+
+
+def test_batch_stats_aggregates():
+    gen = IsingGenerator(4, seed=0)
+    samples = [SampleStats.from_blob(pack_graph(gen.make(i))) for i in range(4)]
+    b = BatchStats.from_samples(samples)
+    assert b.n_graphs == 4
+    assert b.n_nodes == 4 * 125
+    assert b.n_edges == 4 * 600
+    assert b.nbytes == sum(s.nbytes for s in samples)
+
+
+# ---------------------------------------------------------------------------
+# stats-only fetch parity (virtual time identical, content is headers)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("fmt", ["pff", "cff"])
+def test_file_dataset_stats_mode_same_virtual_time(fmt):
+    def main(ctx, stats_only):
+        vfs = ctx.world.vfs
+        gen = IsingGenerator(16, seed=1)
+        if ctx.rank == 0:
+            if fmt == "pff":
+                PFFWriter.write(vfs, "d", gen)
+            else:
+                CFFWriter.write(vfs, "d", gen, n_subfiles=2)
+        yield from ctx.comm.barrier()
+        reader = (
+            PFFReader(vfs, "d", 16, ctx.world.machine)
+            if fmt == "pff"
+            else CFFReader(vfs, "d", ctx.world.machine)
+        )
+        ds = FileDataset(reader, ctx, stats_only=stats_only)
+        result = yield from ds.fetch([0, 5, 9])
+        return ctx.now, result
+
+    t_real, res_real = run(lambda c: main(c, False), seed=2).results[0]
+    t_stats, res_stats = run(lambda c: main(c, True), seed=2).results[0]
+    assert t_stats == pytest.approx(t_real, rel=1e-12)
+    assert np.allclose(res_stats.per_sample_latency, res_real.per_sample_latency)
+    # Content: stats mode returns headers for the same samples.
+    for g, s in zip(res_real.graphs, res_stats.graphs):
+        assert isinstance(s, SampleStats)
+        assert (s.n_nodes, s.n_edges) == (g.n_nodes, g.n_edges)
+
+
+def test_ddstore_stats_mode_same_virtual_time():
+    def main(ctx, stats_only):
+        src = GeneratorSource(IsingGenerator(16, seed=0), ctx.world.machine)
+        store = yield from DDStore.create(ctx.comm, src, record_latencies=True)
+        ds = DDStoreDataset(store, stats_only=stats_only)
+        result = yield from ds.fetch([15, 3, 8])
+        return ctx.now, [type(g).__name__ for g in result.graphs]
+
+    t_real, kinds_real = run(lambda c: main(c, False), seed=1).results[0]
+    t_stats, kinds_stats = run(lambda c: main(c, True), seed=1).results[0]
+    assert t_stats == pytest.approx(t_real, rel=1e-12)
+    assert kinds_real == ["AtomicGraph"] * 3
+    assert kinds_stats == ["SampleStats"] * 3
+
+
+def test_dataloader_stats_mode_yields_batch_stats():
+    def main(ctx):
+        src = GeneratorSource(IsingGenerator(32, seed=0), ctx.world.machine)
+        store = yield from DDStore.create(ctx.comm, src)
+        loader = DataLoader(
+            DDStoreDataset(store, stats_only=True), ctx, batch_size=4
+        )
+        loaded = yield from loader.load(loader.epoch_batches(0)[0])
+        return loaded.batch
+
+    batch = run(main).results[0]
+    assert isinstance(batch, BatchStats)
+    assert batch.n_graphs == 4
+    assert batch.n_nodes == 4 * 125
+
+
+# ---------------------------------------------------------------------------
+# preloader plugins
+# ---------------------------------------------------------------------------
+
+def test_reader_source_bulk_and_scalar_paths_agree():
+    # CFF has a bulk chunk read; it must deliver byte-identical blobs to
+    # the per-sample path.
+    def main(ctx):
+        vfs = ctx.world.vfs
+        gen = MoleculeGenerator(12, seed=3)
+        if ctx.rank == 0:
+            CFFWriter.write(vfs, "c", gen, n_subfiles=3)
+        yield from ctx.comm.barrier()
+        reader = CFFReader(vfs, "c", ctx.world.machine)
+        src = ReaderSource(reader)
+        bulk = yield from src.load_chunk(range(3, 9), ctx.node_index, ctx.engine)
+        scalar = yield from src.load_chunk([3, 4, 5, 6, 7, 8][::-1], ctx.node_index, ctx.engine)
+        return bulk, scalar
+
+    bulk, scalar = run(main).results[0]
+    assert np.array_equal(np.sort(bulk.sizes), np.sort(scalar.sizes))
+    # Same total content (order differs: scalar path was reversed).
+    assert bulk.buffer.sum() == scalar.buffer.sum()
+    assert bulk.buffer.size == scalar.buffer.size
+
+
+def test_generator_source_packs_expected_sizes():
+    def main(ctx):
+        gen = IsingGenerator(8, seed=0)
+        src = GeneratorSource(gen, ctx.world.machine)
+        res = yield from src.load_chunk([0, 1, 2], ctx.node_index, ctx.engine)
+        return res, len(pack_graph(gen.make(0)))
+
+    res, expected = run(main).results[0]
+    assert res.sizes.shape == (3,)
+    assert np.all(res.sizes == expected)
+    assert res.buffer.size == 3 * expected
+
+
+def test_empty_chunk_preload():
+    def main(ctx):
+        src = GeneratorSource(IsingGenerator(8, seed=0), ctx.world.machine)
+        res = yield from src.load_chunk([], ctx.node_index, ctx.engine)
+        return res.buffer.size, res.sizes.size
+
+    assert run(main).results[0] == (0, 0)

@@ -1,0 +1,209 @@
+"""Tests for simulated MPI collectives (bcast/gather/allreduce/split/...)."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import TESTBOX
+from repro.mpi import CollectiveMismatch, MPIError, run_world
+
+
+def run(fn, n_nodes=2, **kw):
+    return run_world(TESTBOX, n_nodes, fn, **kw)
+
+
+def test_barrier_synchronises_ranks():
+    def main(ctx):
+        yield ctx.engine.timeout(float(ctx.rank))  # stagger arrivals
+        yield from ctx.comm.barrier()
+        return ctx.now
+
+    job = run(main)
+    times = job.results
+    # Everyone leaves the barrier together, after the slowest arrival.
+    assert max(times) - min(times) < 1e-9
+    assert min(times) >= 3.0  # slowest rank arrived at t=3
+
+
+def test_bcast_from_root():
+    def main(ctx):
+        data = {"w": np.ones(3)} if ctx.rank == 2 else None
+        out = yield from ctx.comm.bcast(data, root=2)
+        return out["w"].sum()
+
+    job = run(main)
+    assert job.results == [3.0] * 4
+
+
+def test_bcast_none_payload_is_legal():
+    def main(ctx):
+        out = yield from ctx.comm.bcast(None if ctx.rank != 0 else None, root=0)
+        return out
+
+    job = run(main)
+    assert job.results == [None] * 4
+
+
+def test_gather_collects_in_rank_order():
+    def main(ctx):
+        out = yield from ctx.comm.gather(ctx.rank * 2, root=1)
+        return out
+
+    job = run(main)
+    assert job.results[1] == [0, 2, 4, 6]
+    assert job.results[0] is None
+
+
+def test_allgather_everyone_gets_everything():
+    def main(ctx):
+        out = yield from ctx.comm.allgather(chr(ord("a") + ctx.rank))
+        return "".join(out)
+
+    job = run(main)
+    assert job.results == ["abcd"] * 4
+
+
+def test_scatter_distributes_root_list():
+    def main(ctx):
+        data = [10, 11, 12, 13] if ctx.rank == 0 else None
+        out = yield from ctx.comm.scatter(data, root=0)
+        return out
+
+    job = run(main)
+    assert job.results == [10, 11, 12, 13]
+
+
+def test_scatter_wrong_length_raises():
+    def main(ctx):
+        data = [1, 2] if ctx.rank == 0 else None
+        yield from ctx.comm.scatter(data, root=0)
+
+    with pytest.raises(MPIError, match="scatter payload"):
+        run(main)
+
+
+def test_allreduce_sum_scalars():
+    def main(ctx):
+        out = yield from ctx.comm.allreduce(ctx.rank + 1, op="sum")
+        return out
+
+    job = run(main)
+    assert job.results == [10] * 4  # 1+2+3+4
+
+
+def test_allreduce_numpy_mean_of_gradients():
+    def main(ctx):
+        grad = np.full(5, float(ctx.rank))
+        total = yield from ctx.comm.allreduce(grad, op="sum")
+        return total / ctx.size
+
+    job = run(main)
+    for r in job.results:
+        assert np.allclose(r, 1.5)
+
+
+def test_allreduce_does_not_mutate_input():
+    def main(ctx):
+        grad = np.full(4, float(ctx.rank))
+        yield from ctx.comm.allreduce(grad, op="sum")
+        return grad.copy()
+
+    job = run(main)
+    for rank, g in enumerate(job.results):
+        assert np.allclose(g, rank)
+
+
+def test_allreduce_min_max():
+    def main(ctx):
+        lo = yield from ctx.comm.allreduce(ctx.rank, op="min")
+        hi = yield from ctx.comm.allreduce(ctx.rank, op="max")
+        return (lo, hi)
+
+    job = run(main)
+    assert job.results == [(0, 3)] * 4
+
+
+def test_reduce_only_root_gets_result():
+    def main(ctx):
+        out = yield from ctx.comm.reduce(ctx.rank, op="sum", root=3)
+        return out
+
+    job = run(main)
+    assert job.results == [None, None, None, 6]
+
+
+def test_alltoall_transpose():
+    def main(ctx):
+        out = yield from ctx.comm.alltoall([f"{ctx.rank}->{d}" for d in range(ctx.size)])
+        return out
+
+    job = run(main)
+    assert job.results[2] == ["0->2", "1->2", "2->2", "3->2"]
+
+
+def test_split_into_groups():
+    def main(ctx):
+        sub = yield from ctx.comm.split(color=ctx.rank % 2, key=ctx.rank)
+        members = yield from sub.allgather(ctx.rank)
+        return (sub.rank, sub.size, members)
+
+    job = run(main)
+    assert job.results[0] == (0, 2, [0, 2])
+    assert job.results[1] == (0, 2, [1, 3])
+    assert job.results[2] == (1, 2, [0, 2])
+    assert job.results[3] == (1, 2, [1, 3])
+
+
+def test_split_color_none_excluded():
+    def main(ctx):
+        sub = yield from ctx.comm.split(color=None if ctx.rank == 0 else 7)
+        if sub is None:
+            return "excluded"
+        return sub.size
+
+    job = run(main)
+    assert job.results == ["excluded", 3, 3, 3]
+
+
+def test_dup_preserves_rank_order():
+    def main(ctx):
+        sub = yield from ctx.comm.dup()
+        return (sub.rank, sub.size)
+
+    job = run(main)
+    assert job.results == [(r, 4) for r in range(4)]
+
+
+def test_mismatched_collectives_raise():
+    def main(ctx):
+        if ctx.rank == 0:
+            yield from ctx.comm.barrier()
+        else:
+            yield from ctx.comm.allreduce(1)
+
+    with pytest.raises(CollectiveMismatch):
+        run(main)
+
+
+def test_collective_time_nonzero_and_scales():
+    def main(ctx):
+        t0 = ctx.now
+        yield from ctx.comm.allreduce(np.zeros(1 << 20))
+        return ctx.now - t0
+
+    small = run(main, n_nodes=1).results
+    big = run(main, n_nodes=8).results
+    assert min(small) > 0
+    assert max(big) > max(small)
+
+
+def test_collective_stats_accounted():
+    def main(ctx):
+        yield from ctx.comm.allreduce(np.zeros(1024))
+        yield from ctx.comm.barrier()
+        return None
+
+    job = run(main)
+    st = job.world.stats[0]
+    assert st.count_by_call["MPI_Allreduce"] == 1
+    assert st.count_by_call["MPI_Barrier"] == 1
+    assert st.time_by_call["MPI_Allreduce"] > 0

@@ -1,0 +1,193 @@
+"""Tests for simulated MPI point-to-point messaging."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import TESTBOX
+from repro.mpi import ANY_SOURCE, ANY_TAG, MPIError, run_world, waitall
+
+
+def run(fn, n_nodes=2, **kw):
+    return run_world(TESTBOX, n_nodes, fn, **kw)
+
+
+def test_send_recv_roundtrip():
+    def main(ctx):
+        if ctx.rank == 0:
+            yield from ctx.comm.send({"a": 7}, dest=1, tag=11)
+            return None
+        if ctx.rank == 1:
+            data = yield from ctx.comm.recv(source=0, tag=11)
+            return data
+        return None
+
+    job = run(main)
+    assert job.results[1] == {"a": 7}
+    assert job.elapsed > 0
+
+
+def test_numpy_payload_arrives_intact():
+    payload = np.arange(1000, dtype=np.float64)
+
+    def main(ctx):
+        if ctx.rank == 0:
+            yield from ctx.comm.send(payload, dest=3)
+        elif ctx.rank == 3:
+            data = yield from ctx.comm.recv(source=0)
+            return data
+        return None
+        yield  # pragma: no cover
+
+    job = run(main)
+    assert np.array_equal(job.results[3], payload)
+
+
+def test_recv_before_send_blocks_until_arrival():
+    def main(ctx):
+        if ctx.rank == 1:
+            data = yield from ctx.comm.recv(source=0)
+            return (data, ctx.now)
+        if ctx.rank == 0:
+            yield ctx.engine.timeout(0.5)
+            yield from ctx.comm.send("late", dest=1)
+        return None
+
+    job = run(main)
+    data, when = job.results[1]
+    assert data == "late"
+    assert when > 0.5
+
+
+def test_tag_matching_selects_correct_message():
+    def main(ctx):
+        if ctx.rank == 0:
+            yield from ctx.comm.send("tag5", dest=1, tag=5)
+            yield from ctx.comm.send("tag9", dest=1, tag=9)
+        elif ctx.rank == 1:
+            nine = yield from ctx.comm.recv(source=0, tag=9)
+            five = yield from ctx.comm.recv(source=0, tag=5)
+            return (nine, five)
+        return None
+        yield  # pragma: no cover
+
+    job = run(main)
+    assert job.results[1] == ("tag9", "tag5")
+
+
+def test_any_source_any_tag_wildcards():
+    def main(ctx):
+        if ctx.rank in (0, 2):
+            yield from ctx.comm.send(f"from{ctx.rank}", dest=1, tag=ctx.rank)
+        elif ctx.rank == 1:
+            a = yield from ctx.comm.recv(source=ANY_SOURCE, tag=ANY_TAG)
+            b = yield from ctx.comm.recv(source=ANY_SOURCE, tag=ANY_TAG)
+            return sorted([a, b])
+        return None
+        yield  # pragma: no cover
+
+    job = run(main)
+    assert job.results[1] == ["from0", "from2"]
+
+
+def test_fifo_order_same_source_same_tag():
+    def main(ctx):
+        if ctx.rank == 0:
+            for i in range(5):
+                yield from ctx.comm.send(i, dest=1, tag=0)
+        elif ctx.rank == 1:
+            got = []
+            for _ in range(5):
+                got.append((yield from ctx.comm.recv(source=0, tag=0)))
+            return got
+        return None
+        yield  # pragma: no cover
+
+    job = run(main)
+    assert job.results[1] == [0, 1, 2, 3, 4]
+
+
+def test_isend_waitall_overlaps_transfers():
+    def main(ctx):
+        if ctx.rank == 0:
+            reqs = [ctx.comm.isend(np.zeros(100_000), dest=d) for d in (1, 2, 3)]
+            yield from waitall(reqs)
+            return ctx.now
+        data = yield from ctx.comm.recv(source=0)
+        return data.shape
+
+    job = run(main)
+    assert job.results[1] == (100_000,)
+    assert job.results[2] == (100_000,)
+
+
+def test_sendrecv_exchange_no_deadlock():
+    def main(ctx):
+        peer = 1 - ctx.rank if ctx.rank < 2 else ctx.rank
+        if ctx.rank < 2:
+            got = yield from ctx.comm.sendrecv(ctx.rank * 10, dest=peer, source=peer)
+            return got
+        return None
+        yield  # pragma: no cover
+
+    job = run(main, n_nodes=1)
+    assert job.results[0] == 10
+    assert job.results[1] == 0
+
+
+def test_both_send_first_no_deadlock():
+    # Buffered-send semantics: two ranks that each send before receiving
+    # must not deadlock.
+    def main(ctx):
+        if ctx.rank >= 2:
+            return None
+        peer = 1 - ctx.rank
+        yield from ctx.comm.send(f"hi{ctx.rank}", dest=peer)
+        got = yield from ctx.comm.recv(source=peer)
+        return got
+
+    job = run(main, n_nodes=1)
+    assert job.results[0] == "hi1"
+    assert job.results[1] == "hi0"
+
+
+def test_send_to_invalid_rank_raises():
+    def main(ctx):
+        if ctx.rank == 0:
+            yield from ctx.comm.send(1, dest=99)
+        return None
+        yield  # pragma: no cover
+
+    with pytest.raises(MPIError, match="invalid rank"):
+        run(main)
+
+
+def test_intra_node_faster_than_inter_node():
+    # TESTBOX: ranks 0,1 share node 0; rank 2 lives on node 1.
+    def main(ctx, dest):
+        if ctx.rank == 0:
+            t0 = ctx.now
+            yield from ctx.comm.send(np.zeros(1_000_000), dest=dest)
+            return ctx.now - t0
+        if ctx.rank == dest:
+            yield from ctx.comm.recv(source=0)
+        return None
+
+    intra = run(lambda ctx: main(ctx, 1), seed=1).results[0]
+    inter = run(lambda ctx: main(ctx, 2), seed=1).results[0]
+    assert intra < inter
+
+
+def test_stats_record_send_recv_time():
+    def main(ctx):
+        if ctx.rank == 0:
+            yield from ctx.comm.send(np.zeros(10_000), dest=1)
+        elif ctx.rank == 1:
+            yield from ctx.comm.recv(source=0)
+        return None
+
+    job = run(main)
+    assert job.world.stats[0].count_by_call["MPI_Send"] == 1
+    assert job.world.stats[1].count_by_call["MPI_Recv"] == 1
+    assert job.world.stats[1].time_by_call["MPI_Recv"] > 0
+    merged = job.merged_stats()
+    assert merged.count_by_call["MPI_Send"] == 1

@@ -1,0 +1,278 @@
+"""Tests for one-sided RMA (windows, lock epochs, get/put, batching)."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import TESTBOX
+from repro.mpi import (
+    LOCK_EXCLUSIVE,
+    LOCK_SHARED,
+    RMAError,
+    create_window,
+    run_world,
+)
+
+
+def run(fn, n_nodes=2, **kw):
+    return run_world(TESTBOX, n_nodes, fn, **kw)
+
+
+def _make_local(rank, size=64):
+    """Each rank exposes `size` bytes filled with its rank id."""
+    return np.full(size, rank, dtype=np.uint8)
+
+
+def test_get_reads_remote_bytes():
+    def main(ctx):
+        win = yield from create_window(ctx.comm, _make_local(ctx.rank))
+        yield from win.fence()
+        target = (ctx.rank + 1) % ctx.size
+        yield from win.lock(target, LOCK_SHARED)
+        data = yield from win.get(target, offset=0, nbytes=16)
+        yield from win.unlock(target)
+        return data
+
+    job = run(main)
+    for rank, data in enumerate(job.results):
+        assert np.all(data == (rank + 1) % 4)
+        assert data.dtype == np.uint8 and data.size == 16
+
+
+def test_get_offset_slicing():
+    def main(ctx):
+        buf = np.arange(ctx.rank * 100, ctx.rank * 100 + 100, dtype=np.int32)
+        win = yield from create_window(ctx.comm, buf)
+        yield from win.fence()
+        if ctx.rank == 0:
+            yield from win.lock(1, LOCK_SHARED)
+            raw = yield from win.get(1, offset=4 * 10, nbytes=4 * 5)
+            yield from win.unlock(1)
+            return raw.view(np.int32)
+        return None
+
+    job = run(main)
+    assert np.array_equal(job.results[0], np.arange(110, 115, dtype=np.int32))
+
+
+def test_get_without_lock_raises():
+    def main(ctx):
+        win = yield from create_window(ctx.comm, _make_local(ctx.rank))
+        yield from win.fence()
+        if ctx.rank == 0:
+            yield from win.get(1, 0, 8)
+        else:
+            yield from win.fence()  # keep others parked past the failure
+
+    with pytest.raises(RMAError, match="outside a lock epoch"):
+        run(main)
+
+
+def test_get_out_of_range_raises():
+    def main(ctx):
+        win = yield from create_window(ctx.comm, _make_local(ctx.rank, size=32))
+        yield from win.fence()
+        if ctx.rank == 0:
+            yield from win.lock(1, LOCK_SHARED)
+            yield from win.get(1, offset=30, nbytes=8)
+        return None
+
+    with pytest.raises(RMAError, match="exceeds window"):
+        run(main)
+
+
+def test_double_lock_raises():
+    def main(ctx):
+        win = yield from create_window(ctx.comm, _make_local(ctx.rank))
+        yield from win.fence()
+        if ctx.rank == 0:
+            yield from win.lock(1, LOCK_SHARED)
+            yield from win.lock(1, LOCK_SHARED)
+        return None
+
+    with pytest.raises(RMAError, match="already holds"):
+        run(main)
+
+
+def test_unlock_without_lock_raises():
+    def main(ctx):
+        win = yield from create_window(ctx.comm, _make_local(ctx.rank))
+        yield from win.fence()
+        if ctx.rank == 0:
+            yield from win.unlock(2)
+        return None
+
+    with pytest.raises(RMAError, match="does not hold"):
+        run(main)
+
+
+def test_shared_locks_allow_concurrent_readers():
+    def main(ctx):
+        win = yield from create_window(ctx.comm, _make_local(ctx.rank))
+        yield from win.fence()
+        if ctx.rank != 3:
+            yield from win.lock(3, LOCK_SHARED)
+            t0 = ctx.now
+            yield from win.get(3, 0, 32)
+            yield from win.unlock(3)
+            return (t0, ctx.now)
+        return None
+
+    job = run(main)
+    starts = [r[0] for r in job.results[:3]]
+    # All readers enter their epoch immediately (no serialisation at lock).
+    assert max(starts) - min(starts) < 1e-6
+
+
+def test_exclusive_lock_blocks_readers_until_released():
+    def main(ctx):
+        win = yield from create_window(ctx.comm, _make_local(ctx.rank))
+        yield from win.fence()
+        if ctx.rank == 0:
+            yield from win.lock(2, LOCK_EXCLUSIVE)
+            yield ctx.engine.timeout(1.0)
+            yield from win.put(np.full(8, 99, dtype=np.uint8), 2, 0)
+            yield from win.unlock(2)
+            return None
+        if ctx.rank == 1:
+            yield ctx.engine.timeout(0.1)  # arrive while 0 holds exclusive
+            yield from win.lock(2, LOCK_SHARED)
+            entered = ctx.now
+            data = yield from win.get(2, 0, 8)
+            yield from win.unlock(2)
+            return (entered, data)
+        return None
+
+    job = run(main)
+    entered, data = job.results[1]
+    assert entered >= 1.0  # had to wait for the exclusive epoch to end
+    assert np.all(data == 99)  # and observed the completed put
+
+
+def test_put_requires_exclusive_lock():
+    def main(ctx):
+        win = yield from create_window(ctx.comm, _make_local(ctx.rank))
+        yield from win.fence()
+        if ctx.rank == 0:
+            yield from win.lock(1, LOCK_SHARED)
+            yield from win.put(b"\x01\x02", 1, 0)
+        return None
+
+    with pytest.raises(RMAError, match="exclusive"):
+        run(main)
+
+
+def test_put_roundtrip_visible_to_target():
+    def main(ctx):
+        buf = np.zeros(16, dtype=np.uint8)
+        win = yield from create_window(ctx.comm, buf)
+        yield from win.fence()
+        if ctx.rank == 0:
+            yield from win.lock(3, LOCK_EXCLUSIVE)
+            yield from win.put(np.arange(16, dtype=np.uint8), 3, 0)
+            yield from win.unlock(3)
+        yield from win.fence()
+        return win.local.copy()
+
+    job = run(main)
+    assert np.array_equal(job.results[3], np.arange(16, dtype=np.uint8))
+    assert np.all(job.results[1] == 0)
+
+
+def test_get_batch_order_and_contents():
+    def main(ctx):
+        win = yield from create_window(ctx.comm, _make_local(ctx.rank))
+        yield from win.fence()
+        if ctx.rank == 0:
+            for t in (1, 2, 3):
+                yield from win.lock(t, LOCK_SHARED)
+            out = yield from win.get_batch([(3, 0, 4), (1, 0, 4), (2, 0, 4)])
+            for t in (1, 2, 3):
+                yield from win.unlock(t)
+            return [int(p[0]) for p in out]
+        return None
+
+    job = run(main)
+    assert job.results[0] == [3, 1, 2]
+
+
+def test_get_batch_empty_is_noop():
+    def main(ctx):
+        win = yield from create_window(ctx.comm, _make_local(ctx.rank))
+        yield from win.fence()
+        out = yield from win.get_batch([])
+        return out
+
+    job = run(main, n_nodes=1)
+    assert job.results == [[], []]
+
+
+def test_get_returns_copy_not_view():
+    def main(ctx):
+        win = yield from create_window(ctx.comm, _make_local(ctx.rank))
+        yield from win.fence()
+        if ctx.rank == 0:
+            yield from win.lock(1, LOCK_SHARED)
+            data = yield from win.get(1, 0, 8)
+            yield from win.unlock(1)
+            before = data.copy()
+            win.window.buffers[1][:] = 255  # target mutates afterwards
+            return np.array_equal(data, before)
+        return None
+
+    job = run(main)
+    assert job.results[0] is True
+
+
+def test_get_log_records_latencies():
+    def main(ctx):
+        win = yield from create_window(ctx.comm, _make_local(ctx.rank))
+        win.window.record_gets = True
+        yield from win.fence()
+        if ctx.rank == 0:
+            yield from win.lock(2, LOCK_SHARED)
+            yield from win.get_batch([(2, 0, 8)] * 5)
+            yield from win.unlock(2)
+        yield from win.fence()
+        return len(win.window.get_log)
+
+    job = run(main)
+    assert job.results[0] == 5
+    assert all(n == 5 for n in job.results)  # shared window object
+
+
+def test_window_from_int_allocates_zeroed():
+    def main(ctx):
+        win = yield from create_window(ctx.comm, 32)
+        yield from win.fence()
+        if ctx.rank == 1:
+            yield from win.lock(0, LOCK_SHARED)
+            data = yield from win.get(0, 0, 32)
+            yield from win.unlock(0)
+            return int(data.sum())
+        return None
+
+    job = run(main)
+    assert job.results[1] == 0
+
+
+def test_remote_get_slower_than_local_get():
+    def main(ctx):
+        win = yield from create_window(ctx.comm, _make_local(ctx.rank, 4096))
+        yield from win.fence()
+        if ctx.rank == 0:
+            yield from win.lock(1, LOCK_SHARED)  # same node on TESTBOX
+            t0 = ctx.now
+            yield from win.get(1, 0, 4096)
+            local_dt = ctx.now - t0
+            yield from win.unlock(1)
+            yield from win.lock(2, LOCK_SHARED)  # remote node
+            t0 = ctx.now
+            yield from win.get(2, 0, 4096)
+            remote_dt = ctx.now - t0
+            yield from win.unlock(2)
+            return (local_dt, remote_dt)
+        return None
+
+    job = run(main, jitter_sigma=0.0)
+    local_dt, remote_dt = job.results[0]
+    assert local_dt < remote_dt

@@ -1,0 +1,209 @@
+"""Tests for the NVMe staging tier and DDStore elastic re-sharding."""
+
+import numpy as np
+import pytest
+
+from repro.core import DDStore, GeneratorSource
+from repro.graphs import IsingGenerator, MoleculeGenerator
+from repro.hardware import NVMeDevice, TEST_NVME, TESTBOX
+from repro.hardware.nvme import NVMeSpec
+from repro.mpi import run_world
+from repro.sim import Engine
+from repro.storage import CFFReader, CFFWriter, NVMeStagedReader, stage_to_nvme
+
+
+def run(fn, n_nodes=2, **kw):
+    return run_world(TESTBOX, n_nodes, fn, **kw)
+
+
+# ---------------------------------------------------------------------------
+# NVMe device
+# ---------------------------------------------------------------------------
+
+def test_nvme_capacity_accounting():
+    dev = NVMeDevice(Engine(), TEST_NVME)
+    dev.allocate(TEST_NVME.capacity_bytes // 2)
+    assert dev.free_bytes == TEST_NVME.capacity_bytes - TEST_NVME.capacity_bytes // 2
+    with pytest.raises(OSError, match="NVMe full"):
+        dev.allocate(TEST_NVME.capacity_bytes)
+    dev.release(TEST_NVME.capacity_bytes // 2)
+    assert dev.used_bytes == 0
+
+
+def test_nvme_read_latency_reasonable():
+    dev = NVMeDevice(Engine(), TEST_NVME)
+    done = dev.read(4096, arrival=0.0)
+    # flash latency + IOPS service, well under a PFS metadata op
+    assert 1e-5 < done < 1e-3
+
+
+def test_nvme_queueing_under_load():
+    dev = NVMeDevice(Engine(), TEST_NVME)
+    finishes = [dev.read(4096, arrival=0.0) for _ in range(100)]
+    assert finishes[-1] > finishes[0]  # FIFO backlog builds
+
+
+def test_nvme_write_streams_at_bandwidth():
+    dev = NVMeDevice(Engine(), TEST_NVME)
+    t = dev.write(TEST_NVME.write_bandwidth_Bps, arrival=0.0)  # 1 second of data
+    assert t == pytest.approx(1.0, rel=0.01)
+
+
+def test_nvme_rejects_negative():
+    dev = NVMeDevice(Engine(), TEST_NVME)
+    with pytest.raises(ValueError):
+        dev.read(-1, 0.0)
+    with pytest.raises(ValueError):
+        dev.write(-1, 0.0)
+    with pytest.raises(ValueError):
+        dev.allocate(-1)
+
+
+# ---------------------------------------------------------------------------
+# staging
+# ---------------------------------------------------------------------------
+
+def test_stage_to_nvme_roundtrip():
+    gen = IsingGenerator(12, seed=0)
+
+    def main(ctx):
+        vfs = ctx.world.vfs
+        if ctx.rank == 0:
+            CFFWriter.write(vfs, "c", gen, n_subfiles=2)
+        yield from ctx.comm.barrier()
+        if ctx.rank != 0:
+            return None
+        cff = CFFReader(vfs, "c", ctx.world.machine)
+        dev = NVMeDevice(ctx.engine, TEST_NVME)
+        staged, t_done = stage_to_nvme(cff, dev, ctx.node_index, ctx.now)
+        assert t_done > ctx.now
+        g, done = staged.read_sample(7, ctx.node_index, t_done)
+        return g, staged.n_samples, dev.used_bytes
+
+    g, n, used = run(main).results[0]
+    assert g.allclose(gen.make(7))
+    assert n == 12
+    assert used > 0
+
+
+def test_stage_respects_logical_capacity():
+    gen = IsingGenerator(4, seed=0)
+
+    def main(ctx):
+        vfs = ctx.world.vfs
+        if ctx.rank == 0:
+            CFFWriter.write(vfs, "c", gen, n_subfiles=1)
+        yield from ctx.comm.barrier()
+        if ctx.rank != 0:
+            return None
+        cff = CFFReader(vfs, "c", ctx.world.machine)
+        dev = NVMeDevice(ctx.engine, TEST_NVME)
+        try:
+            stage_to_nvme(cff, dev, 0, ctx.now, logical_bytes=TEST_NVME.capacity_bytes * 2)
+        except OSError:
+            return "full"
+        return "fit"
+
+    assert run(main).results[0] == "full"
+
+
+def test_staged_reader_stats_mode():
+    gen = MoleculeGenerator(6, seed=1)
+
+    def main(ctx):
+        vfs = ctx.world.vfs
+        if ctx.rank == 0:
+            CFFWriter.write(vfs, "c", gen, n_subfiles=2)
+        yield from ctx.comm.barrier()
+        if ctx.rank != 0:
+            return None
+        cff = CFFReader(vfs, "c", ctx.world.machine)
+        dev = NVMeDevice(ctx.engine, TEST_NVME)
+        staged, t = stage_to_nvme(cff, dev, 0, ctx.now)
+        stats, done = staged.read_sample_stats(3, 0, t)
+        return stats, staged.sample_nbytes(3)
+
+    stats, nbytes = run(main).results[0]
+    g = gen.make(3)
+    assert (stats.n_nodes, stats.n_edges) == (g.n_nodes, g.n_edges)
+    assert stats.nbytes == nbytes
+
+
+# ---------------------------------------------------------------------------
+# resharding
+# ---------------------------------------------------------------------------
+
+def _src(ctx, n=24):
+    return GeneratorSource(IsingGenerator(n, seed=3), ctx.world.machine)
+
+
+def test_reshard_changes_width_and_preserves_data():
+    gen = IsingGenerator(24, seed=3)
+
+    def main(ctx):
+        store = yield from DDStore.create(ctx.comm, _src(ctx))  # width=4
+        new = yield from store.reshard(width=2)
+        graphs = yield from new.get_samples([23, 0, 11])
+        return (new.width, new.n_replicas, [g.sample_id for g in graphs], graphs[0])
+
+    job = run(main)
+    for width, replicas, ids, g in job.results:
+        assert (width, replicas) == (2, 2)
+        assert ids == [23, 0, 11]
+        assert g.allclose(gen.make(23))
+
+
+def test_reshard_releases_old_memory():
+    def main(ctx):
+        store = yield from DDStore.create(ctx.comm, _src(ctx))
+        node = ctx.world.cluster.nodes[ctx.node_index]
+        before = node.mem_used_bytes
+        new = yield from store.reshard(width=2)
+        yield from ctx.comm.barrier()
+        after = node.mem_used_bytes
+        # Old chunk released, new (larger, replicated) chunk charged.
+        return before, after, new.memory_bytes
+
+    job = run(main)
+    for before, after, new_bytes in job.results:
+        assert after > 0
+        assert new_bytes > 0
+
+
+def test_reshard_to_same_width_is_identity_on_data():
+    def main(ctx):
+        store = yield from DDStore.create(ctx.comm, _src(ctx))
+        new = yield from store.reshard(width=store.width)
+        a = yield from new.get_samples(range(24))
+        return [g.sample_id for g in a]
+
+    job = run(main)
+    assert job.results[0] == list(range(24))
+
+
+def test_reshard_takes_virtual_time_but_less_than_fs_reload():
+    # Memory-to-memory redistribution must cost something, but far less
+    # than re-reading the dataset from the PFS.
+    def main(ctx):
+        from repro.core import ReaderSource
+        from repro.storage import CFFWriter as W, CFFReader as R
+
+        vfs = ctx.world.vfs
+        gen = IsingGenerator(24, seed=3)
+        if ctx.rank == 0:
+            W.write(vfs, "c", gen, n_subfiles=2)
+        yield from ctx.comm.barrier()
+        reader = R(vfs, "c", ctx.world.machine)
+        store = yield from DDStore.create(ctx.comm, ReaderSource(reader))
+        t0 = ctx.now
+        new = yield from store.reshard(width=2)
+        reshard_time = ctx.now - t0
+        ctx.world.pfs.drop_caches()  # a fresh job would find cold caches
+        t0 = ctx.now
+        again = yield from DDStore.create(ctx.comm, ReaderSource(reader), width=2)
+        fs_time = ctx.now - t0
+        return reshard_time, fs_time
+
+    job = run(main)
+    reshard_time, fs_time = job.results[0]
+    assert 0 < reshard_time < fs_time

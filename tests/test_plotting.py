@@ -1,0 +1,59 @@
+"""Tests for the ASCII chart renderer used in benchmark reports."""
+
+import numpy as np
+import pytest
+
+from repro.bench.plotting import ascii_cdf, ascii_plot
+
+
+def test_basic_plot_contains_markers_and_legend():
+    text = ascii_plot(
+        {"a": ([1, 2, 3], [1, 4, 9]), "b": ([1, 2, 3], [9, 4, 1])},
+        width=40,
+        height=10,
+        title="T",
+    )
+    assert text.splitlines()[0] == "T"
+    assert "*" in text and "o" in text
+    assert "* a" in text and "o b" in text
+
+
+def test_plot_axis_labels_show_ranges():
+    text = ascii_plot({"s": ([0, 10], [0, 100])}, width=30, height=8)
+    assert "100" in text
+    assert "10" in text
+
+
+def test_log_axes():
+    text = ascii_plot(
+        {"s": ([1, 10, 100], [1, 10, 100])}, width=30, height=8, logx=True, logy=True
+    )
+    assert "100" in text
+    with pytest.raises(ValueError, match="positive"):
+        ascii_plot({"s": ([0, 1], [1, 2])}, logx=True)
+
+
+def test_plot_validation():
+    with pytest.raises(ValueError):
+        ascii_plot({})
+    with pytest.raises(ValueError):
+        ascii_plot({"s": ([1], [1])}, width=2)
+    with pytest.raises(ValueError, match="mismatched"):
+        ascii_plot({"s": ([1, 2], [1])})
+
+
+def test_degenerate_single_point():
+    text = ascii_plot({"s": ([5], [7])}, width=20, height=6)
+    assert "*" in text
+
+
+def test_ascii_cdf_orders_fast_series_left():
+    rng = np.random.default_rng(0)
+    fast = rng.exponential(1e-4, size=400)
+    slow = rng.exponential(1e-2, size=400)
+    text = ascii_cdf({"fast": fast, "slow": slow}, width=60, height=12)
+    # Both series present; the fast curve's marker appears before the slow
+    # one's in the upper rows (left = lower latency).
+    rows = [l for l in text.splitlines() if "|" in l]
+    upper = "".join(rows[: len(rows) // 2])
+    assert upper.index("*") < upper.index("o")

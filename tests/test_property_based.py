@@ -1,0 +1,278 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import ChunkLayout, ChunkRegistry, DDStoreConfig, GlobalShuffleSampler, LocalShuffleSampler
+from repro.graphs import AtomicGraph, collate
+from repro.mpi.datatypes import sizeof
+from repro.sim import Engine, QueueStation, FluidStation
+from repro.storage import pack_graph, packed_size, unpack_graph
+
+
+# ---------------------------------------------------------------------------
+# graph codec
+# ---------------------------------------------------------------------------
+
+@st.composite
+def atomic_graphs(draw):
+    n = draw(st.integers(min_value=1, max_value=40))
+    f = draw(st.integers(min_value=1, max_value=6))
+    out = draw(st.integers(min_value=1, max_value=16))
+    e = draw(st.integers(min_value=0, max_value=80))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    edges = (
+        rng.integers(0, n, size=(2, e)) if e else np.zeros((2, 0), dtype=np.int32)
+    )
+    return AtomicGraph(
+        positions=rng.normal(size=(n, 3)),
+        node_features=rng.normal(size=(n, f)),
+        edge_index=edges,
+        y=rng.normal(size=out),
+        sample_id=draw(st.integers(min_value=0, max_value=2**40)),
+    )
+
+
+@given(atomic_graphs())
+@settings(max_examples=50, deadline=None)
+def test_codec_roundtrip_arbitrary_graphs(g):
+    blob = pack_graph(g)
+    assert len(blob) == packed_size(g.n_nodes, g.n_edges, g.feature_dim, g.output_dim)
+    back = unpack_graph(blob)
+    assert back.allclose(g)
+
+
+@given(atomic_graphs(), atomic_graphs())
+@settings(max_examples=25, deadline=None)
+def test_codec_concatenated_blobs_recoverable(g1, g2):
+    # DDStore stores blobs back to back; slicing by size must recover each.
+    b1, b2 = pack_graph(g1), pack_graph(g2)
+    buf = b1 + b2
+    assert unpack_graph(buf[: len(b1)]).allclose(g1)
+    assert unpack_graph(buf[len(b1) :]).allclose(g2)
+
+
+# ---------------------------------------------------------------------------
+# chunk layout / registry
+# ---------------------------------------------------------------------------
+
+@given(
+    n_samples=st.integers(min_value=1, max_value=5000),
+    width=st.integers(min_value=1, max_value=64),
+)
+@settings(max_examples=100, deadline=None)
+def test_layout_partition_invariants(n_samples, width):
+    layout = ChunkLayout.build(n_samples, width)
+    sizes = np.diff(layout.bounds)
+    assert sizes.sum() == n_samples
+    assert sizes.min() >= 0
+    assert sizes.max() - sizes.min() <= 1  # balanced
+    # Ownership is consistent with ranges.
+    idx = np.arange(n_samples)
+    owners = layout.owner_of(idx)
+    for r in range(width):
+        lo, hi = layout.chunk_range(r)
+        assert np.all(owners[lo:hi] == r)
+
+
+@given(
+    width=st.integers(min_value=1, max_value=8),
+    sizes=st.lists(st.integers(min_value=1, max_value=500), min_size=1, max_size=64),
+)
+@settings(max_examples=60, deadline=None)
+def test_registry_locate_consistency(width, sizes):
+    n = len(sizes)
+    if n < width:
+        width = n
+    layout = ChunkLayout.build(n, width)
+    by_member = [
+        np.array(sizes[layout.chunk_range(r)[0] : layout.chunk_range(r)[1]], dtype=np.int64)
+        for r in range(width)
+    ]
+    reg = ChunkRegistry.from_sample_sizes(layout, by_member)
+    # Every sample's (owner, offset, size) is self-consistent.
+    total = 0
+    for g in range(n):
+        owner, off, size = reg.locate(g)
+        assert size == sizes[g]
+        lo, _hi = layout.chunk_range(owner)
+        expect_off = sum(sizes[lo:g])
+        assert off == expect_off
+        total += size
+    assert reg.total_bytes == total
+
+
+# ---------------------------------------------------------------------------
+# DDStore config
+# ---------------------------------------------------------------------------
+
+@given(n_ranks=st.integers(min_value=1, max_value=4096))
+@settings(max_examples=60, deadline=None)
+def test_config_groups_partition_ranks(n_ranks):
+    # pick a valid width: any divisor
+    divisors = [w for w in range(1, n_ranks + 1) if n_ranks % w == 0]
+    width = divisors[len(divisors) // 2]
+    cfg = DDStoreConfig(n_ranks=n_ranks, width=width)
+    assert cfg.n_replicas * cfg.effective_width == n_ranks
+    groups = [cfg.group_of_rank(r) for r in range(n_ranks)]
+    # each group has exactly `width` members
+    counts = np.bincount(groups)
+    assert np.all(counts == width)
+    # group-rank is a bijection within each group
+    for g in range(cfg.n_replicas):
+        members = [r for r in range(n_ranks) if groups[r] == g]
+        assert sorted(cfg.group_rank(r) for r in members) == list(range(width))
+
+
+# ---------------------------------------------------------------------------
+# samplers
+# ---------------------------------------------------------------------------
+
+@given(
+    n_samples=st.integers(min_value=8, max_value=2000),
+    n_ranks=st.integers(min_value=1, max_value=8),
+    epoch=st.integers(min_value=0, max_value=10),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=60, deadline=None)
+def test_global_shuffle_is_partition_of_prefix(n_samples, n_ranks, epoch, seed):
+    if n_samples < n_ranks:
+        n_samples = n_ranks
+    chunks = [
+        GlobalShuffleSampler(n_samples, n_ranks, r, seed=seed).epoch_indices(epoch)
+        for r in range(n_ranks)
+    ]
+    allv = np.concatenate(chunks)
+    # no duplicates, all in range
+    assert len(set(allv.tolist())) == allv.size
+    assert allv.min() >= 0 and allv.max() < n_samples
+    per = n_samples // n_ranks
+    assert all(c.size == per for c in chunks)
+
+
+@given(
+    n_samples=st.integers(min_value=8, max_value=2000),
+    n_ranks=st.integers(min_value=1, max_value=8),
+    rank_seed=st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=50, deadline=None)
+def test_local_shuffle_is_shard_permutation(n_samples, n_ranks, rank_seed):
+    rank = rank_seed % n_ranks
+    s = LocalShuffleSampler(n_samples, n_ranks, rank, seed=3)
+    lo, hi = s.shard_range
+    idx = s.epoch_indices(rank_seed)
+    assert idx.size == n_samples // n_ranks
+    assert set(idx.tolist()) <= set(range(lo, hi))
+    assert len(set(idx.tolist())) == idx.size
+
+
+# ---------------------------------------------------------------------------
+# collation
+# ---------------------------------------------------------------------------
+
+@given(st.lists(atomic_graphs(), min_size=1, max_size=6))
+@settings(max_examples=30, deadline=None)
+def test_collate_roundtrip_property(graphs):
+    # normalise dims so the batch is well-formed
+    f = graphs[0].feature_dim
+    out = graphs[0].output_dim
+    usable = [g for g in graphs if g.feature_dim == f and g.output_dim == out]
+    batch = collate(usable)
+    assert batch.n_nodes == sum(g.n_nodes for g in usable)
+    assert batch.n_edges == sum(g.n_edges for g in usable)
+    for i, g in enumerate(usable):
+        assert batch.graph(i).allclose(g)
+
+
+# ---------------------------------------------------------------------------
+# queueing stations
+# ---------------------------------------------------------------------------
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=10),  # inter-arrival gap
+            st.floats(min_value=0, max_value=1),  # service
+        ),
+        min_size=1,
+        max_size=50,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_queue_station_conservation_properties(jobs):
+    eng = Engine()
+    q = QueueStation(eng)
+    t = 0.0
+    prev_finish = 0.0
+    for gap, service in jobs:
+        t += gap
+        finish = q.serve(t, service)
+        # completion after arrival + service; FIFO monotone completions
+        assert finish >= t + service - 1e-12
+        assert finish >= prev_finish - 1e-12
+        prev_finish = finish
+    assert q.jobs_served == len(jobs)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=0.01),
+            st.floats(min_value=0, max_value=0.002),
+        ),
+        min_size=1,
+        max_size=50,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_fluid_station_sanity(jobs):
+    eng = Engine()
+    q = FluidStation(eng, bucket_s=1e-3)
+    t = 0.0
+    for gap, service in jobs:
+        t += gap
+        finish = q.serve(t, service)
+        assert finish >= t + service - 1e-12  # never faster than service
+    # total booked work conserved
+    assert q.busy_time >= 0
+    assert q.jobs_served == len(jobs)
+
+
+@given(st.floats(min_value=1e-5, max_value=0.5))
+@settings(max_examples=30, deadline=None)
+def test_fluid_station_idle_is_free(service):
+    # A lone request on an idle station is never queued.
+    eng = Engine()
+    q = FluidStation(eng, bucket_s=1e-3)
+    assert q.serve(100.0, service) == 100.0 + service
+
+
+# ---------------------------------------------------------------------------
+# sizeof
+# ---------------------------------------------------------------------------
+
+@given(
+    st.recursive(
+        st.one_of(
+            st.integers(),
+            st.floats(allow_nan=False, allow_infinity=False),
+            st.text(max_size=20),
+            st.booleans(),
+            st.none(),
+        ),
+        lambda children: st.lists(children, max_size=4)
+        | st.dictionaries(st.text(max_size=5), children, max_size=4),
+        max_leaves=20,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_sizeof_positive_for_python_objects(obj):
+    assert sizeof(obj) > 0
+
+
+@given(st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=30, deadline=None)
+def test_sizeof_numpy_is_exact(n):
+    arr = np.zeros(n, dtype=np.float32)
+    assert sizeof(arr) == 4 * n
