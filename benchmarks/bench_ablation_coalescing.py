@@ -1,0 +1,31 @@
+"""Ablation — data-plane knobs: fetch coalescing and the hot-sample cache."""
+
+from conftest import run_once
+
+from repro.bench.ablations import ablation_coalescing
+from repro.bench import write_report
+
+ON = "coalescing on (default)"
+OFF = "coalescing off (seed path)"
+CACHED = "coalescing + 64MB cache"
+
+
+def test_ablation_coalescing(benchmark, profile):
+    text, data = run_once(benchmark, ablation_coalescing, profile)
+    write_report("ablation_coalescing", text, data)
+    on, off, cached = data[ON]["counters"], data[OFF]["counters"], data[CACHED]["counters"]
+    # Without coalescing every remote sample is its own wire read.
+    assert off["n_get_calls"] == off["n_remote"]
+    # Coalescing merges adjacent ranges: strictly fewer reads for the same
+    # samples and the same logical bytes.
+    assert on["n_get_calls"] < off["n_get_calls"]
+    assert on["n_remote"] == off["n_remote"]
+    assert on["bytes_remote"] == off["bytes_remote"]
+    # The cache converts second-epoch remote fetches into hits.
+    assert cached["n_cache_hits"] > 0
+    assert cached["n_remote"] < on["n_remote"]
+    # Stage instrumentation: the wire stage is the dominant recorded cost.
+    for label in (ON, OFF, CACHED):
+        stages = data[label]["stages"]
+        assert stages.get("get", 0.0) > 0.0
+        assert all(v >= 0.0 for v in stages.values())

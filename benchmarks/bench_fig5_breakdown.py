@@ -14,3 +14,8 @@ def test_fig5_breakdown(benchmark, profile):
         assert methods["ddstore"]["cpu_loading"] < 0.35 * methods["pff"]["cpu_loading"], ds
         # Loading dominates the baselines' CPU pipeline.
         assert methods["pff"]["cpu_loading"] > methods["pff"]["cpu_batching"], ds
+        # Fig 5b: DDStore's loading time decomposes into data-plane stages.
+        stages = methods["ddstore"]["fetch_stages"]
+        assert stages.get("get", 0.0) > 0.0, ds
+        assert stages.get("decode", 0.0) > 0.0, ds
+        assert all(v >= 0.0 for v in stages.values()), ds

@@ -12,6 +12,12 @@ def test_fig9_function_breakdown(benchmark, profile):
         for p in points:
             phases = p["phases"]
             assert all(v >= 0 for v in phases.values())
+            # Fig 9b: each scale point carries its data-plane breakdown.
+            stages = p["fetch_stages"]
+            assert stages.get("get", 0.0) > 0.0, (machine, p["nodes"])
+            assert all(v >= 0.0 for v in stages.values()), (machine, p["nodes"])
+            counters = p["fetch_counters"]
+            assert counters["n_get_calls"] <= counters["n_remote"], (machine, p["nodes"])
             # With a fixed local batch, per-rank loading stays roughly flat
             # across scales (that's why DDStore scales near-linearly).
         loads = [p["phases"]["cpu_loading"] for p in points]

@@ -29,6 +29,7 @@ from .reporting import render_table
 
 __all__ = [
     "ablation_dataplane",
+    "ablation_coalescing",
     "ablation_shuffle",
     "ablation_nvme",
     "ablation_workers",
@@ -70,6 +71,56 @@ def ablation_dataplane(profile: Optional[ScaleProfile] = None):
         ["Data plane", "samples/s", "p50 (ms)", "p99 (ms)"],
         rows,
         title="Ablation — communication framework f: RMA vs two-sided (paper §3.1's rejected design)",
+    )
+    return text, data
+
+
+# ---------------------------------------------------------------------------
+# fetch coalescing and the hot-sample cache
+# ---------------------------------------------------------------------------
+
+
+def ablation_coalescing(profile: Optional[ScaleProfile] = None):
+    """Data-plane knobs: request coalescing and the hot-sample cache.
+
+    Coalescing merges adjacent remote byte ranges into single RMA gets
+    (fewer, larger wire reads for the same bytes); the cache trades DRAM
+    for repeat remote fetches across epochs.  Two epochs so the cache row
+    sees the global shuffle revisit the same id set.
+    """
+    profile = profile or current_profile()
+    variants = (
+        ("coalescing on (default)", dict(coalesce=True)),
+        ("coalescing off (seed path)", dict(coalesce=False)),
+        ("coalescing + 64MB cache", dict(coalesce=True, cache_bytes=64 << 20)),
+    )
+    rows = []
+    data = {}
+    for label, kw in variants:
+        r = cached_experiment(_base_cfg(profile, method="ddstore", epochs=2, **kw))
+        pct = latency_percentiles(r.latencies)
+        c = r.fetch_counters
+        rows.append(
+            [
+                label,
+                f"{r.throughput:,.0f}",
+                f"{pct[50] * 1e3:.3f}",
+                f"{c.get('n_get_calls', 0):,}",
+                f"{c.get('n_remote', 0):,}",
+                f"{c.get('bytes_transferred', 0) / 1e6:.1f}",
+                f"{c.get('n_cache_hits', 0):,}",
+            ]
+        )
+        data[label] = dict(
+            throughput=r.throughput,
+            p50=pct[50],
+            counters=dict(c),
+            stages=dict(r.fetch_stages),
+        )
+    text = render_table(
+        ["Data-plane config", "samples/s", "p50 (ms)", "wire gets", "remote samples", "MB moved", "cache hits"],
+        rows,
+        title="Ablation — fetch coalescing and hot-sample cache (DDStore, 2 epochs)",
     )
     return text, data
 

@@ -278,13 +278,33 @@ def fig5_breakdown(profile: Optional[ScaleProfile] = None):
                     f"{r.elapsed * 1e3:.1f}",
                 ]
             )
-            data.setdefault(ds, {})[method] = dict(r.phases.seconds, elapsed=r.elapsed)
+            data.setdefault(ds, {})[method] = dict(
+                r.phases.seconds,
+                elapsed=r.elapsed,
+                fetch_stages=dict(r.fetch_stages),
+                fetch_counters=dict(r.fetch_counters),
+            )
     text = render_table(
         ["Dataset / Method", "CPU-Load(ms)", "CPU-Batch(ms)", "GPU-Compute(ms)", "GPU-Comm(ms)", "End2End(ms)"],
         rows,
         title="Fig 5 — end-to-end training time breakdown, 64 GPUs on Perlmutter (per rank, measured epochs)",
     )
-    return text, data
+    # Fig 5b: where DDStore's own CPU-Loading time goes, stage by stage.
+    from .metrics import FETCH_STAGES
+
+    stage_rows = []
+    for ds in EVAL_DATASETS:
+        stages = matrix[ds]["ddstore"].fetch_stages
+        stage_rows.append(
+            [DATASET_LABELS[ds]]
+            + [f"{stages.get(s, 0.0) * 1e3:.3f}" for s in FETCH_STAGES]
+        )
+    stage_text = render_table(
+        ["Dataset"] + [f"{s}(ms)" for s in FETCH_STAGES],
+        stage_rows,
+        title="Fig 5b — DDStore data-plane stage breakdown (per rank, measured epochs)",
+    )
+    return text + "\n\n" + stage_text, data
 
 
 # ---------------------------------------------------------------------------
@@ -493,13 +513,37 @@ def fig9_function_breakdown(profile: Optional[ScaleProfile] = None):
                     f"{p['optimizer'] * 1e3:.2f}",
                 ]
             )
-            data.setdefault(machine, []).append(dict(nodes=nodes, phases=p))
+            data.setdefault(machine, []).append(
+                dict(
+                    nodes=nodes,
+                    phases=p,
+                    fetch_stages=dict(r.fetch_stages),
+                    fetch_counters=dict(r.fetch_counters),
+                )
+            )
     text = render_table(
         ["Scale", "Load(ms)", "Batch(ms)", "GPU(ms)", "Comm(ms)", "Opt(ms)"],
         rows,
         title="Fig 9 — function durations of DDStore training across scales (per rank)",
     )
-    return text, data
+    # Fig 9b: the loading column split into data-plane stages per scale.
+    from .metrics import FETCH_STAGES
+
+    stage_rows = []
+    for machine in ("summit", "perlmutter"):
+        gpn = 6 if machine == "summit" else 4
+        for point in data[machine]:
+            stages = point["fetch_stages"]
+            stage_rows.append(
+                [f"{machine} {point['nodes'] * gpn} GPUs"]
+                + [f"{stages.get(s, 0.0) * 1e3:.3f}" for s in FETCH_STAGES]
+            )
+    stage_text = render_table(
+        ["Scale"] + [f"{s}(ms)" for s in FETCH_STAGES],
+        stage_rows,
+        title="Fig 9b — DDStore fetch-stage durations across scales (per rank)",
+    )
+    return text + "\n\n" + stage_text, data
 
 
 # ---------------------------------------------------------------------------

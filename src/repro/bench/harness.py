@@ -23,6 +23,7 @@ import numpy as np
 from ..core import (
     DataLoader,
     DDStore,
+    DDStoreConfig,
     DDStoreDataset,
     FileDataset,
     ReaderSource,
@@ -95,6 +96,8 @@ class ExperimentConfig:
     jitter_sigma: float = 0.18
     hidden_dim: int = 200  # paper architecture; reduce for real-compute runs
     n_workers: int = 1  # effective concurrent loader workers per rank
+    cache_bytes: int = 0  # DDStore hot-sample cache budget (0 = off)
+    coalesce: bool = True  # DDStore fetch-request coalescing
 
     def __post_init__(self) -> None:
         if self.method not in METHODS:
@@ -103,6 +106,16 @@ class ExperimentConfig:
             raise ValueError(f"unknown dataset {self.dataset!r}")
         if self.batch_size < 1 or self.epochs < 1 or self.steps_per_epoch < 1:
             raise ValueError("batch_size, epochs, steps_per_epoch must be positive")
+        if self.method in ("ddstore", "ddstore-p2p"):
+            # Fail at configuration time, not minutes into the run: an
+            # invalid width/cache setting raises here with the valid options.
+            DDStoreConfig(
+                self.n_ranks,
+                width=self.width,
+                framework="p2p" if self.method == "ddstore-p2p" else "mpi-rma",
+                cache_bytes=self.cache_bytes,
+                coalesce=self.coalesce,
+            )
 
     @property
     def n_ranks(self) -> int:
@@ -127,6 +140,8 @@ class ExperimentResult:
     preload_time: float  # virtual seconds of setup (slowest rank)
     mpi_stats: MPIStats  # merged across ranks
     train_losses: list = field(default_factory=list)
+    fetch_stages: dict = field(default_factory=dict)  # mean seconds/rank by stage
+    fetch_counters: dict = field(default_factory=dict)  # summed across ranks
 
     @property
     def throughput(self) -> float:
@@ -266,6 +281,8 @@ def _rank_main(ctx, cfg: ExperimentConfig, blobs: list[bytes]):
             ReaderSource(reader),
             width=cfg.width,
             framework=framework,
+            cache_bytes=cfg.cache_bytes,
+            coalesce=cfg.coalesce,
             record_latencies=cfg.record_latencies,
         )
         dataset = DDStoreDataset(store, stats_only=cfg.stats_only, n_workers=cfg.n_workers)
@@ -320,6 +337,8 @@ def _rank_main(ctx, cfg: ExperimentConfig, blobs: list[bytes]):
         latencies=np.concatenate(latencies) if latencies else np.empty(0),
         preload=preload_time,
         losses=losses,
+        fetch_stages=dict(store.stats.stage_seconds) if store is not None else {},
+        fetch_counters=store.stats.counters() if store is not None else {},
     )
 
 
@@ -348,6 +367,14 @@ def run_experiment(cfg: ExperimentConfig) -> ExperimentResult:
     for k in mean_phases.seconds:
         mean_phases.seconds[k] /= len(per_rank)
     latencies = np.concatenate([r["latencies"] for r in per_rank])
+    from .metrics import merge_stage_seconds
+
+    fetch_stages = merge_stage_seconds(r["fetch_stages"] for r in per_rank)
+    fetch_stages = {k: v / len(per_rank) for k, v in fetch_stages.items()}
+    fetch_counters: dict[str, int] = {}
+    for r in per_rank:
+        for k, v in r["fetch_counters"].items():
+            fetch_counters[k] = fetch_counters.get(k, 0) + int(v)
     return ExperimentResult(
         config=cfg,
         elapsed=elapsed,
@@ -357,4 +384,6 @@ def run_experiment(cfg: ExperimentConfig) -> ExperimentResult:
         preload_time=max(r["preload"] for r in per_rank),
         mpi_stats=job.merged_stats(),
         train_losses=per_rank[0]["losses"],
+        fetch_stages=fetch_stages,
+        fetch_counters=fetch_counters,
     )

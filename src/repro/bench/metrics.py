@@ -1,15 +1,23 @@
-"""Metric helpers for the evaluation harness: CDFs, percentiles, geomeans."""
+"""Metric helpers for the evaluation harness: CDFs, percentiles, geomeans,
+and per-stage data-plane timing summaries."""
 
 from __future__ import annotations
 
+from typing import Iterable, Mapping
+
 import numpy as np
 
+from ..core import FETCH_STAGES
+
 __all__ = [
+    "FETCH_STAGES",
     "percentile",
     "latency_percentiles",
     "cdf",
     "geomean",
     "speedup_table",
+    "merge_stage_seconds",
+    "stage_fractions",
     "fmt_ms",
     "fmt_seconds",
 ]
@@ -58,6 +66,31 @@ def speedup_table(throughputs: dict[str, float], baseline: str) -> dict[str, flo
     if base <= 0:
         raise ValueError("baseline throughput must be positive")
     return {k: v / base for k, v in throughputs.items()}
+
+
+def merge_stage_seconds(
+    stage_dicts: Iterable[Mapping[str, float]],
+) -> dict[str, float]:
+    """Sum per-stage second dicts (e.g. across ranks or fetches).
+
+    Keys are ordered canonically (:data:`FETCH_STAGES` first, then any
+    transport-specific extras alphabetically).
+    """
+    totals: dict[str, float] = {}
+    for d in stage_dicts:
+        for k, v in d.items():
+            totals[k] = totals.get(k, 0.0) + float(v)
+    known = [s for s in FETCH_STAGES if s in totals]
+    extra = sorted(k for k in totals if k not in FETCH_STAGES)
+    return {k: totals[k] for k in known + extra}
+
+
+def stage_fractions(stages: Mapping[str, float]) -> dict[str, float]:
+    """Normalise per-stage seconds to fractions of their total."""
+    total = sum(max(0.0, float(v)) for v in stages.values())
+    if total <= 0.0:
+        return {k: 0.0 for k in stages}
+    return {k: max(0.0, float(v)) / total for k, v in stages.items()}
 
 
 def fmt_ms(seconds: float) -> str:

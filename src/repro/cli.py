@@ -38,6 +38,7 @@ from .bench import (
 )
 from .bench.ablations import (
     ablation_cache,
+    ablation_coalescing,
     ablation_conv_policy,
     ablation_dataplane,
     ablation_nvme,
@@ -60,6 +61,7 @@ EXPERIMENTS: dict[str, tuple[Callable, str]] = {
     "table3": (table3_width_median, "width median latency reduction"),
     "fig13": (fig13_convergence, "training convergence (real numerics)"),
     "ablation-dataplane": (ablation_dataplane, "RMA vs two-sided p2p"),
+    "ablation-coalescing": (ablation_coalescing, "fetch coalescing + hot-sample cache"),
     "ablation-shuffle": (ablation_shuffle, "global vs local shuffle"),
     "ablation-nvme": (ablation_nvme, "NVMe staging vs DDStore"),
     "ablation-workers": (ablation_workers, "loader-worker sensitivity"),
@@ -120,6 +122,18 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_dataplane(_args: argparse.Namespace) -> int:
+    from .dataplane import available_frameworks, get_transport
+
+    print("registered data-plane transports:\n")
+    for name in available_frameworks():
+        cls = get_transport(name)
+        coal = "yes" if cls.supports_coalescing else "no"
+        print(f"  {name.ljust(12)}  {cls.__module__}.{cls.__name__}  (coalescing: {coal})")
+    print("\nselect with DDStore.create(..., framework=<name>)")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -141,6 +155,10 @@ def main(argv: list[str] | None = None) -> int:
     ds = sub.add_parser("datasets", help="dataset statistics (Table 1)")
     ds.add_argument("--samples", type=int, default=100)
     ds.set_defaults(fn=_cmd_datasets)
+
+    sub.add_parser(
+        "dataplane", help="list registered data-plane transports"
+    ).set_defaults(fn=_cmd_dataplane)
 
     args = parser.parse_args(argv)
     return args.fn(args)

@@ -14,11 +14,12 @@ from .loader import (
 from .preloader import DataSource, GeneratorSource, PreloadResult, ReaderSource
 from .registry import ChunkRegistry
 from .sampler import GlobalShuffleSampler, LocalShuffleSampler, iter_batches
-from .store import DDStore, FetchStats
+from .store import DDStore, FETCH_STAGES, FetchStats
 
 __all__ = [
     "DDStoreConfig",
     "FRAMEWORKS",
+    "FETCH_STAGES",
     "ChunkLayout",
     "balanced_partition",
     "ChunkRegistry",

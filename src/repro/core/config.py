@@ -8,7 +8,15 @@
 * ``f`` — the communication framework.  The paper ships MPI RMA and
   discusses rejected alternatives; we implement ``mpi-rma`` plus a
   two-sided ``p2p`` data plane as the ablation of §3.1's rejected design
-  (message exchange requiring the target's involvement).
+  (message exchange requiring the target's involvement).  Any framework
+  registered with :func:`repro.dataplane.register_transport` is valid.
+
+Data-plane tuning knobs (all default to seed-equivalent behaviour):
+
+* ``cache_bytes`` — byte budget of the per-rank hot-sample LRU cache
+  (0 disables it),
+* ``coalesce`` — merge adjacent remote byte ranges into single reads,
+* ``max_read_bytes`` — upper bound on a single coalesced read.
 """
 
 from __future__ import annotations
@@ -17,6 +25,8 @@ from dataclasses import dataclass
 
 __all__ = ["DDStoreConfig", "FRAMEWORKS"]
 
+#: The built-in frameworks.  Validation consults the live transport
+#: registry, so this tuple is informational (and kept for back-compat).
 FRAMEWORKS = ("mpi-rma", "p2p")
 
 
@@ -31,6 +41,9 @@ class DDStoreConfig:
     n_ranks: int
     width: int | None = None
     framework: str = "mpi-rma"
+    cache_bytes: int = 0
+    coalesce: bool = True
+    max_read_bytes: int | None = None
 
     def __post_init__(self) -> None:
         if self.n_ranks < 1:
@@ -41,13 +54,25 @@ class DDStoreConfig:
                 f"width {w} must be in [1, n_ranks={self.n_ranks}]"
             )
         if self.n_ranks % w != 0:
+            valid = [d for d in range(1, self.n_ranks + 1) if self.n_ranks % d == 0]
             raise ValueError(
                 f"width {w} must divide the number of ranks {self.n_ranks} "
-                "(every replica group must be complete)"
+                f"(every replica group must be complete); valid widths: {valid}"
             )
-        if self.framework not in FRAMEWORKS:
+        # Lazy import: repro.dataplane registers the built-in transports on
+        # first import, and core must stay importable without it cycling.
+        from ..dataplane import available_frameworks
+
+        frameworks = available_frameworks()
+        if self.framework not in frameworks:
             raise ValueError(
-                f"unknown framework {self.framework!r}; options: {FRAMEWORKS}"
+                f"unknown framework {self.framework!r}; options: {frameworks}"
+            )
+        if self.cache_bytes < 0:
+            raise ValueError(f"cache_bytes must be >= 0, got {self.cache_bytes}")
+        if self.max_read_bytes is not None and self.max_read_bytes < 1:
+            raise ValueError(
+                f"max_read_bytes must be positive, got {self.max_read_bytes}"
             )
 
     @property

@@ -69,6 +69,8 @@ class FetchResult:
     graphs: list[AtomicGraph]
     per_sample_latency: np.ndarray  # seconds, one entry per requested sample
     load_time: float  # wall (virtual) duration of the whole fetch
+    # per-stage virtual seconds of this fetch (DDStore datasets only)
+    stage_seconds: Optional[dict] = None
 
 
 class SimDataset(Protocol):
@@ -99,6 +101,7 @@ class DDStoreDataset:
         engine = self.store.comm.engine
         t0 = engine.now
         before = len(self.store.stats.latencies)
+        stages_before = dict(self.store.stats.stage_seconds)
         graphs = yield from self.store.get_samples(
             indices, decode=not self.stats_only, n_workers=self.n_workers
         )
@@ -106,8 +109,16 @@ class DDStoreDataset:
             lat = np.asarray(self.store.stats.latencies[before:], dtype=np.float64)
         else:
             lat = np.full(len(graphs), (engine.now - t0) / max(len(graphs), 1))
+        stages = {
+            k: v - stages_before.get(k, 0.0)
+            for k, v in self.store.stats.stage_seconds.items()
+            if v - stages_before.get(k, 0.0) > 0.0
+        }
         return FetchResult(
-            graphs=graphs, per_sample_latency=lat, load_time=engine.now - t0
+            graphs=graphs,
+            per_sample_latency=lat,
+            load_time=engine.now - t0,
+            stage_seconds=stages,
         )
 
 

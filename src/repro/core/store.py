@@ -8,19 +8,21 @@ Construction (collective, via :meth:`DDStore.create`):
    sample range — into one packed byte buffer (data preloader),
 3. members exchange per-sample size tables (``MPI_Allgather``) and build
    the replicated :class:`~.registry.ChunkRegistry`,
-4. every member exposes its buffer through an RMA window
-   (``MPI_Win_create``).
+4. every member wires the replica group's data plane: the transport
+   resolved from ``config.framework`` (the paper's ``mpi-rma`` exposes
+   the buffer through an RMA window).
 
 Training-time fetch (:meth:`DDStore.get_samples`): look the requested
 global ids up in the registry, copy local ones straight out of the own
-buffer, and fetch remote ones with shared-lock ``MPI_Get`` batches from
-group members — never touching the filesystem and never leaving the
+buffer, serve repeat remote ids from the optional hot-sample cache, and
+hand the rest to the :class:`~repro.dataplane.FetchPlanner`, which groups
+them by owner and coalesces adjacent byte ranges into the wire reads the
+transport executes — never touching the filesystem and never leaving the
 replica group.
 
-The ``framework`` config selects the data plane: ``mpi-rma`` (the paper's
-choice) or ``p2p`` (the rejected two-sided alternative, kept as an
-ablation: every fetch then needs the *target's* cooperation, which costs a
-polling delay while the target is busy training).
+The store itself holds *no* communication code: transports live in
+:mod:`repro.dataplane` and anything registered there is a valid
+``framework`` value.
 """
 
 from __future__ import annotations
@@ -30,21 +32,24 @@ from typing import Generator, Optional, Sequence
 
 import numpy as np
 
+from ..dataplane import FetchPlanner, PlannedRead, SampleCache, get_transport
+from ..dataplane.transport import Transport
 from ..graphs import AtomicGraph
-from ..mpi import Comm, LOCK_SHARED, WinHandle, create_window, waitall
-from ..sim import RngRegistry
+from ..mpi import Comm
 from ..storage import SampleStats, decode_time, unpack_graph
 from .chunking import ChunkLayout
 from .config import DDStoreConfig
 from .preloader import DataSource
 from .registry import ChunkRegistry
 
-__all__ = ["DDStore", "FetchStats"]
+__all__ = ["DDStore", "FetchStats", "FETCH_STAGES"]
 
-_TAG_FETCH_REQ = 71001
-_TAG_REPLY_BASE = 72000
-_SHUTDOWN = ("__ddstore_shutdown__",)
-_P2P_POLL_WINDOW_S = 1.0e-3  # how long a busy target takes to notice a request
+#: The instrumented stages of one ``get_samples`` call, in pipeline order.
+FETCH_STAGES = ("plan", "lock", "get", "copy", "cache", "decode")
+
+# Modelled CPU cost of building a fetch plan (numpy sort + merge sweep).
+_PLAN_BASE_S = 1.0e-6
+_PLAN_S_PER_REQ = 1.0e-8
 
 
 @dataclass
@@ -58,10 +63,38 @@ class FetchStats:
     fetch_time: float = 0.0
     decode_time: float = 0.0
     latencies: list[float] = field(default_factory=list)
+    # data-plane counters
+    n_get_calls: int = 0  # wire reads issued (== n_remote when not coalescing)
+    bytes_transferred: int = 0  # deduplicated wire bytes actually moved
+    n_cache_hits: int = 0
+    n_cache_misses: int = 0
+    n_cache_evictions: int = 0
+    bytes_cache_hits: int = 0
+    # virtual seconds spent per fetch stage (keys from FETCH_STAGES)
+    stage_seconds: dict[str, float] = field(default_factory=dict)
 
     @property
     def n_total(self) -> int:
-        return self.n_local + self.n_remote
+        return self.n_local + self.n_remote + self.n_cache_hits
+
+    def add_stage(self, stage: str, seconds: float) -> None:
+        if seconds:
+            self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
+
+    def counters(self) -> dict[str, int]:
+        """The integer counters as a dict (for the bench layer)."""
+        return dict(
+            n_local=self.n_local,
+            n_remote=self.n_remote,
+            bytes_local=self.bytes_local,
+            bytes_remote=self.bytes_remote,
+            n_get_calls=self.n_get_calls,
+            bytes_transferred=self.bytes_transferred,
+            n_cache_hits=self.n_cache_hits,
+            n_cache_misses=self.n_cache_misses,
+            n_cache_evictions=self.n_cache_evictions,
+            bytes_cache_hits=self.bytes_cache_hits,
+        )
 
     def latency_array(self) -> np.ndarray:
         return np.asarray(self.latencies, dtype=np.float64)
@@ -82,7 +115,7 @@ class DDStore:
         config: DDStoreConfig,
         layout: ChunkLayout,
         registry: ChunkRegistry,
-        win: Optional[WinHandle],
+        transport: Transport,
         record_latencies: bool,
     ) -> None:
         self.comm = comm
@@ -90,12 +123,14 @@ class DDStore:
         self.config = config
         self.layout = layout
         self.registry = registry
-        self.win = win
+        self.transport = transport
         self.record_latencies = record_latencies
         self.stats = FetchStats()
-        self._responder = None
-        self._reply_seq = 0
-        self._rng = RngRegistry("ddstore-p2p", comm.world_rank)
+        self.planner = FetchPlanner(
+            coalesce=config.coalesce and transport.supports_coalescing,
+            max_read_bytes=config.max_read_bytes,
+        )
+        self.cache = SampleCache(config.cache_bytes)
         machine = comm.communicator.world.machine
         self._machine = machine
         self._local_copy_base = machine.intra_node_latency_s
@@ -112,14 +147,26 @@ class DDStore:
         *,
         width: Optional[int] = None,
         framework: str = "mpi-rma",
+        cache_bytes: int = 0,
+        coalesce: bool = True,
+        max_read_bytes: Optional[int] = None,
         record_latencies: bool = False,
     ) -> Generator:
         """Collectively build the store over ``comm`` (all ranks call this).
 
         ``source`` supplies the packed samples (a preloader plugin).
-        Returns this rank's :class:`DDStore` handle.
+        ``framework`` may be any transport registered with
+        :func:`repro.dataplane.register_transport`.  Returns this rank's
+        :class:`DDStore` handle.
         """
-        config = DDStoreConfig(comm.size, width=width, framework=framework)
+        config = DDStoreConfig(
+            comm.size,
+            width=width,
+            framework=framework,
+            cache_bytes=cache_bytes,
+            coalesce=coalesce,
+            max_read_bytes=max_read_bytes,
+        )
         group_comm = yield from comm.split(
             color=config.group_of_rank(comm.rank), key=comm.rank
         )
@@ -140,27 +187,22 @@ class DDStore:
         sizes_all = yield from group_comm.allgather(result.sizes)
         registry = ChunkRegistry.from_sample_sizes(layout, sizes_all)
 
-        win: Optional[WinHandle] = None
-        if framework == "mpi-rma":
-            win = yield from create_window(group_comm, result.buffer)
-            if record_latencies:
-                win.window.record_gets = True
+        # Wire the replica group's data plane.
+        transport_cls = get_transport(config.framework)
+        transport = yield from transport_cls.setup(
+            group_comm, result.buffer, record_latencies=record_latencies
+        )
         store = cls(
             comm=comm,
             group_comm=group_comm,
             config=config,
             layout=layout,
             registry=registry,
-            win=win,
+            transport=transport,
             record_latencies=record_latencies,
         )
         store._node_index = node_index
         store._charged_bytes = buffer_nbytes
-        if framework == "p2p":
-            store._local_buffer = result.buffer
-            store._responder = engine.process(
-                store._respond_loop(), name=f"ddstore-responder[{comm.rank}]"
-            )
         yield from comm.barrier()
         return store
 
@@ -188,10 +230,13 @@ class DDStore:
         """Bytes of dataset this rank holds in DRAM."""
         return self.registry.buffer_bytes(self.group_comm.rank)
 
+    @property
+    def win(self):
+        """Back-compat: the RMA window handle, when the transport has one."""
+        return getattr(self.transport, "win", None)
+
     def _local_buffer_view(self) -> np.ndarray:
-        if self.win is not None:
-            return self.win.local
-        return self._local_buffer
+        return self.transport.local_buffer()
 
     # ------------------------------------------------------------------
     # the data loader hot path
@@ -201,9 +246,10 @@ class DDStore:
     ) -> Generator:
         """Fetch the graphs for ``indices`` (global ids), in order.
 
-        Local samples are copied from the own chunk; remote ones are
-        fetched from replica-group members via the configured data plane.
-        ``n_workers`` models concurrent loader threads: RMA gets issue
+        Local samples are copied from the own chunk, repeat remote ids are
+        served from the hot-sample cache (when enabled), and the rest are
+        planned into coalesced reads executed by the configured transport.
+        ``n_workers`` models concurrent loader threads: wire reads issue
         from that many streams and CPU-side copy/decode work divides
         across them.  Returns ``list[AtomicGraph]`` — or
         ``list[SampleStats]`` when ``decode=False`` (identical
@@ -215,6 +261,7 @@ class DDStore:
         if idx.size == 0:
             return []
         engine = self.comm.engine
+        stats = self.stats
         t_start = engine.now
         owners, offsets, sizes = self.registry.locate_batch(idx)
         me = self.group_comm.rank
@@ -227,7 +274,7 @@ class DDStore:
         local_positions = np.nonzero(local_mask)[0]
         local_time = 0.0
         if local_positions.size:
-            buf = self._local_buffer_view()
+            buf = self.transport.local_buffer()
             for p in local_positions:
                 off, nb = int(offsets[p]), int(sizes[p])
                 blobs[p] = buf[off : off + nb].copy()
@@ -235,21 +282,61 @@ class DDStore:
             latencies[local_positions] = copy_times
             local_time = float(copy_times.sum())
 
-        # -- remote samples -------------------------------------------------
+        # -- remote samples: cache probe, then plan + transport fetch -------
         remote_positions = np.nonzero(~local_mask)[0]
-        if remote_positions.size:
-            if self.config.framework == "mpi-rma":
-                yield from self._fetch_rma(
-                    remote_positions, owners, offsets, sizes, blobs, latencies,
-                    n_streams=n_workers,
-                )
-            else:
-                yield from self._fetch_p2p(
-                    remote_positions, owners, offsets, sizes, blobs, latencies
-                )
+        fetch_positions = remote_positions
+        cache_time = 0.0
+        if self.cache.enabled and remote_positions.size:
+            missed = []
+            for p in remote_positions:
+                entry = self.cache.get(int(idx[p]))
+                if entry is None:
+                    missed.append(p)
+                    continue
+                blobs[p] = entry.copy()
+                # A hit still costs the DRAM copy out of the cache.
+                hit_cost = self._local_copy_base + entry.nbytes / self._local_copy_bw
+                latencies[p] = hit_cost
+                cache_time += hit_cost
+            fetch_positions = np.asarray(missed, dtype=np.int64)
+
+        # Zero-size samples need no bytes on the wire.
+        if fetch_positions.size:
+            empty = fetch_positions[sizes[fetch_positions] == 0]
+            for p in empty:
+                blobs[p] = np.zeros(0, dtype=np.uint8)
+            if empty.size:
+                fetch_positions = fetch_positions[sizes[fetch_positions] > 0]
+
+        plan = None
+        if fetch_positions.size:
+            plan = self.planner.plan(
+                owners[fetch_positions],
+                offsets[fetch_positions],
+                sizes[fetch_positions],
+                positions=fetch_positions,
+            )
+            plan_s = _PLAN_BASE_S + _PLAN_S_PER_REQ * int(fetch_positions.size)
+            yield engine.timeout(plan_s)
+            stats.add_stage("plan", plan_s)
+            outcome = yield from self.transport.fetch(
+                plan.reads, n_streams=max(1, n_workers)
+            )
+            self._scatter(plan, outcome, blobs, latencies)
+            for stage, seconds in outcome.stage_seconds.items():
+                stats.add_stage(stage, seconds)
+            if self.cache.enabled:
+                for p in fetch_positions:
+                    self.cache.put(int(idx[p]), blobs[p])
 
         if local_time:
-            yield engine.timeout(local_time / max(1, n_workers))
+            local_wait = local_time / max(1, n_workers)
+            yield engine.timeout(local_wait)
+            stats.add_stage("copy", local_wait)
+        if cache_time:
+            cache_wait = cache_time / max(1, n_workers)
+            yield engine.timeout(cache_wait)
+            stats.add_stage("cache", cache_wait)
 
         # -- deserialise (CPU) ----------------------------------------------
         if decode == "raw":
@@ -261,7 +348,9 @@ class DDStore:
                 dtype=np.float64,
                 count=idx.size,
             )
-            yield engine.timeout(float(dec.sum()) / max(1, n_workers))
+            decode_wait = float(dec.sum()) / max(1, n_workers)
+            yield engine.timeout(decode_wait)
+            stats.add_stage("decode", decode_wait)
             latencies += dec
             if decode:
                 graphs = [unpack_graph(b) for b in blobs]
@@ -269,76 +358,51 @@ class DDStore:
                 graphs = [SampleStats.from_blob(b) for b in blobs]
 
         # -- bookkeeping ------------------------------------------------------
-        self.stats.n_local += int(local_positions.size)
-        self.stats.n_remote += int(remote_positions.size)
-        self.stats.bytes_local += int(sizes[local_positions].sum()) if local_positions.size else 0
-        self.stats.bytes_remote += int(sizes[remote_positions].sum()) if remote_positions.size else 0
-        self.stats.fetch_time += engine.now - t_start - float(dec.sum())
-        self.stats.decode_time += float(dec.sum())
+        n_fetched = int(fetch_positions.size) if plan is not None else 0
+        stats.n_local += int(local_positions.size)
+        stats.n_remote += n_fetched
+        stats.bytes_local += int(sizes[local_positions].sum()) if local_positions.size else 0
+        stats.bytes_remote += int(sizes[fetch_positions].sum()) if n_fetched else 0
+        if plan is not None:
+            stats.n_get_calls += plan.n_reads
+            stats.bytes_transferred += plan.total_bytes
+        cs = self.cache.stats
+        stats.n_cache_hits = cs.hits
+        stats.n_cache_misses = cs.misses
+        stats.n_cache_evictions = cs.evictions
+        stats.bytes_cache_hits = cs.hit_bytes
+        stats.fetch_time += engine.now - t_start - float(dec.sum())
+        stats.decode_time += float(dec.sum())
         if self.record_latencies:
-            self.stats.latencies.extend(latencies.tolist())
+            stats.latencies.extend(latencies.tolist())
         return graphs
 
-    def _fetch_rma(
-        self, positions, owners, offsets, sizes, blobs, latencies, n_streams=1
-    ) -> Generator:
-        """One-sided path: shared-lock epochs + one batched MPI_Get pass."""
-        win = self.win
-        assert win is not None
-        targets = sorted(set(int(owners[p]) for p in positions))
-        for t in targets:
-            yield from win.lock(t, LOCK_SHARED)
-        requests = [
-            (int(owners[p]), int(offsets[p]), int(sizes[p])) for p in positions
-        ]
-        payloads = yield from win.get_batch(requests, n_streams=n_streams)
-        for p, payload in zip(positions, payloads):
-            blobs[p] = payload
-        if win.last_latencies is not None:
-            latencies[positions] = win.last_latencies
-        for t in targets:
-            yield from win.unlock(t)
-
-    def _fetch_p2p(
-        self, positions, owners, offsets, sizes, blobs, latencies
-    ) -> Generator:
-        """Two-sided ablation: ask the owner, wait for it to notice & reply."""
-        comm = self.group_comm
-        engine = comm.engine
-        issue = engine.now
-        reply_reqs = []
-        for p in positions:
-            self._reply_seq += 1
-            reply_tag = _TAG_REPLY_BASE + self._reply_seq
-            req = (int(offsets[p]), int(sizes[p]), reply_tag, comm.rank)
-            yield from comm.send(req, dest=int(owners[p]), tag=_TAG_FETCH_REQ)
-            reply_reqs.append(comm.irecv(source=int(owners[p]), tag=reply_tag))
-        payloads = yield from waitall(reply_reqs)
-        done = engine.now
-        for p, payload in zip(positions, payloads):
-            blobs[p] = payload
-            latencies[p] = (done - issue) / max(len(positions), 1)
-
-    def _respond_loop(self) -> Generator:
-        """Target-side service loop of the two-sided ablation."""
-        comm = self.group_comm
-        engine = comm.engine
-        rng = self._rng.get("poll")
-        while True:
-            msg = yield comm.irecv(tag=_TAG_FETCH_REQ)
-            if msg == _SHUTDOWN:
-                return
-            offset, nbytes, reply_tag, requester = msg
-            # The target is busy computing; it notices the request at its
-            # next data-loader poll point.
-            yield engine.timeout(float(rng.uniform(0.0, _P2P_POLL_WINDOW_S)))
-            payload = self._local_buffer_view()[offset : offset + nbytes].copy()
-            yield from comm.send(payload, dest=requester, tag=reply_tag)
+    @staticmethod
+    def _scatter(plan, outcome, blobs, latencies) -> None:
+        """Reassemble per-sample payloads out of the reads' payloads."""
+        read_lat = outcome.latencies
+        totals: dict[int, int] = {}
+        for read in plan.reads:
+            for sl in read.slices:
+                end = sl.sample_offset + sl.nbytes
+                if end > totals.get(sl.position, 0):
+                    totals[sl.position] = end
+        for r, (read, payload) in enumerate(zip(plan.reads, outcome.payloads)):
+            lat = float(read_lat[r]) if read_lat is not None else 0.0
+            for sl in read.slices:
+                p = sl.position
+                piece = payload[sl.read_offset : sl.read_offset + sl.nbytes]
+                if sl.sample_offset == 0 and sl.nbytes == totals[p]:
+                    blobs[p] = piece.copy()  # whole sample in one slice
+                else:
+                    if blobs[p] is None:
+                        blobs[p] = np.empty(totals[p], dtype=np.uint8)
+                    blobs[p][sl.sample_offset : sl.sample_offset + sl.nbytes] = piece
+                latencies[p] = max(latencies[p], lat)
 
     def shutdown(self) -> Generator:
-        """Collectively stop p2p responders (no-op for RMA)."""
-        if self.config.framework == "p2p":
-            yield from self.group_comm.send(_SHUTDOWN, dest=self.group_comm.rank, tag=_TAG_FETCH_REQ)
+        """Collectively stop the data plane's service machinery."""
+        yield from self.transport.shutdown()
         yield from self.comm.barrier()
 
     def close(self) -> None:
@@ -359,9 +423,9 @@ class DDStore:
         changing the GPU count (or replication factor) forces a slow
         re-partitioning through the filesystem.  With DDStore the data
         already lives in the job's DRAM, so redistribution is a pure
-        memory-to-memory shuffle: every rank RMA-fetches its *new* chunk
+        memory-to-memory shuffle: every rank fetches its *new* chunk
         from the old replica group, then the group structure, registry,
-        and windows are rebuilt.  Returns the new :class:`DDStore`.
+        and data plane are rebuilt.  Returns the new :class:`DDStore`.
         """
         source = _StoreSource(self)
         new_store = yield from DDStore.create(
@@ -369,11 +433,13 @@ class DDStore:
             source,
             width=width,
             framework=self.config.framework,
+            cache_bytes=self.config.cache_bytes,
+            coalesce=self.config.coalesce,
+            max_read_bytes=self.config.max_read_bytes,
             record_latencies=self.record_latencies,
         )
         if close_old:
-            if self.config.framework == "p2p":
-                yield from self.shutdown()
+            yield from self.shutdown()
             self.close()
         return new_store
 
@@ -382,10 +448,11 @@ class _StoreSource:
     """Preload plugin that pulls packed samples out of an existing store.
 
     A new contiguous chunk ``[lo, hi)`` overlaps at most a handful of old
-    owners' contiguous ranges, so redistribution issues ONE large RMA get
+    owners' contiguous ranges, so redistribution issues ONE large read
     per overlapped owner (bulk memory-to-memory streaming) instead of one
-    get per sample — the same trick the CFF preloader uses on files.  The
-    two-sided framework falls back to per-sample fetches.
+    read per sample — the same trick the CFF preloader uses on files.
+    Transports that cannot serve arbitrary byte spans (two-sided p2p)
+    fall back to per-sample fetches.
     """
 
     def __init__(self, store: DDStore) -> None:
@@ -400,14 +467,14 @@ class _StoreSource:
         contiguous = bool(indices) and indices == list(
             range(indices[0], indices[-1] + 1)
         )
-        if not contiguous or store.win is None:
+        if not contiguous or not store.transport.supports_coalescing:
             blobs = yield from store.get_samples(indices, decode="raw")
             sizes = np.fromiter((b.size for b in blobs), dtype=np.int64, count=len(blobs))
             buffer = np.concatenate(blobs) if blobs else np.zeros(0, dtype=np.uint8)
             return PreloadResult(buffer=buffer, sizes=sizes)
 
         lo, hi = indices[0], indices[-1] + 1
-        reg, layout, win = store.registry, store.layout, store.win
+        reg, layout = store.registry, store.layout
         # One (owner, byte-span) request per overlapped old chunk.
         requests = []
         sizes_parts = []
@@ -423,20 +490,21 @@ class _StoreSource:
             sizes_parts.append(np.diff(table[s_lo - c_lo : s_hi - c_lo + 1]))
         me = store.group_comm.rank
         local_parts = []
-        remote_requests = []
+        remote_reads = []
         for owner, off, nb in requests:
             if owner == me:
-                local_parts.append((owner, store._local_buffer_view()[off : off + nb].copy()))
+                local_parts.append(
+                    (owner, store.transport.local_buffer()[off : off + nb].copy())
+                )
             else:
-                remote_requests.append((owner, off, nb))
-        targets = sorted({r[0] for r in remote_requests})
-        for t in targets:
-            yield from win.lock(t, LOCK_SHARED)
-        payloads = yield from win.get_batch(remote_requests)
-        for t in targets:
-            yield from win.unlock(t)
+                remote_reads.append(
+                    PlannedRead(target=owner, offset=off, nbytes=nb, slices=())
+                )
+        outcome = yield from store.transport.fetch(remote_reads)
         by_owner = dict(local_parts)
-        by_owner.update({r[0]: p for r, p in zip(remote_requests, payloads)})
+        by_owner.update(
+            {r.target: p for r, p in zip(remote_reads, outcome.payloads)}
+        )
         buffer = (
             np.concatenate([by_owner[r[0]] for r in requests])
             if requests

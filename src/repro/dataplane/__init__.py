@@ -1,0 +1,48 @@
+"""The DDStore data plane: pluggable transports, fetch planning, caching.
+
+The paper's central contribution is the fetch path — shared-lock
+``MPI_Get`` batches against replica-group windows (§3).  This package
+makes that path its own layer so new backends, batching policies, and
+caches can be added without touching :class:`~repro.core.store.DDStore`:
+
+* :class:`Transport` — the abstract data-plane backend.  Built-ins:
+  :class:`RmaTransport` (the paper's one-sided design) and
+  :class:`P2PTransport` (the rejected two-sided ablation).  Third-party
+  transports register through :func:`register_transport` and are selected
+  by the existing ``framework`` config field.
+* :class:`FetchPlanner` — groups requested samples by owner rank,
+  coalesces adjacent byte ranges into single reads, and splits oversized
+  reads (RapidGNN/Atompack-style packed remote reads).
+* :class:`SampleCache` — an optional per-rank byte-budgeted LRU sitting
+  in front of the transport, with hit/miss/eviction counters.
+"""
+
+from .cache import CacheStats, SampleCache
+from .planner import FetchPlan, FetchPlanner, PlannedRead, ReadSlice
+from .registry import (
+    available_frameworks,
+    get_transport,
+    register_transport,
+    unregister_transport,
+)
+from .transport import FetchOutcome, P2PTransport, RmaTransport, Transport
+
+__all__ = [
+    "Transport",
+    "RmaTransport",
+    "P2PTransport",
+    "FetchOutcome",
+    "FetchPlanner",
+    "FetchPlan",
+    "PlannedRead",
+    "ReadSlice",
+    "SampleCache",
+    "CacheStats",
+    "register_transport",
+    "unregister_transport",
+    "get_transport",
+    "available_frameworks",
+]
+
+register_transport(RmaTransport)
+register_transport(P2PTransport)

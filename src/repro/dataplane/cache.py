@@ -1,0 +1,110 @@
+"""Hot-sample cache: a per-rank byte-budgeted LRU in front of the transport.
+
+RapidGNN-style observation: with deterministic sampling, a modest DRAM
+budget spent on recently fetched *remote* samples slashes repeat remote
+traffic across epochs.  The cache stores packed (still-serialised) sample
+payloads keyed by global sample id, evicts least-recently-used entries to
+stay under its byte budget, and keeps hit/miss/eviction counters that
+:class:`~repro.core.store.FetchStats` surfaces to the bench layer.
+
+A ``capacity_bytes`` of 0 (the default everywhere) disables the cache
+entirely — the seed fetch behaviour is preserved bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["CacheStats", "SampleCache"]
+
+
+@dataclass
+class CacheStats:
+    """Cumulative counters of one cache instance."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    insertions: int = 0
+    hit_bytes: int = 0
+    evicted_bytes: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return dict(
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            insertions=self.insertions,
+            hit_bytes=self.hit_bytes,
+            evicted_bytes=self.evicted_bytes,
+        )
+
+
+class SampleCache:
+    """LRU cache of packed sample payloads under a byte budget."""
+
+    def __init__(self, capacity_bytes: int = 0) -> None:
+        if capacity_bytes < 0:
+            raise ValueError(f"capacity_bytes must be >= 0, got {capacity_bytes}")
+        self.capacity_bytes = int(capacity_bytes)
+        self.used_bytes = 0
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[int, np.ndarray]" = OrderedDict()
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity_bytes > 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: int) -> bool:
+        return key in self._entries
+
+    def get(self, key: int) -> Optional[np.ndarray]:
+        """Payload for ``key`` (refreshing its recency), or None on a miss.
+
+        The returned array is the cached storage itself — callers must not
+        mutate it.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        self.stats.hit_bytes += int(entry.nbytes)
+        return entry
+
+    def put(self, key: int, payload: np.ndarray) -> bool:
+        """Insert a payload, evicting LRU entries to fit the byte budget.
+
+        Returns False when the cache is disabled or the payload alone
+        exceeds the budget.  The payload is copied, so cached bytes never
+        alias a transport buffer.
+        """
+        if not self.enabled:
+            return False
+        nbytes = int(np.asarray(payload).nbytes)
+        if nbytes > self.capacity_bytes:
+            return False
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            return True
+        while self.used_bytes + nbytes > self.capacity_bytes:
+            _, victim = self._entries.popitem(last=False)
+            self.used_bytes -= int(victim.nbytes)
+            self.stats.evictions += 1
+            self.stats.evicted_bytes += int(victim.nbytes)
+        self._entries[key] = np.asarray(payload, dtype=np.uint8).reshape(-1).copy()
+        self.used_bytes += nbytes
+        self.stats.insertions += 1
+        return True
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self.used_bytes = 0

@@ -1,0 +1,189 @@
+"""Fetch planning: group by owner, coalesce adjacent ranges, split big reads.
+
+The seed issued one logical get per requested sample.  Globally-shuffled
+mini-batches still contain runs of samples that are contiguous in their
+owner's chunk buffer (and resharding fetches whole spans), so the planner
+turns a batch of per-sample ``(target, offset, nbytes)`` requests into a
+smaller list of :class:`PlannedRead` wire operations:
+
+1. requests are grouped per target rank (one lock epoch per target),
+2. byte ranges that touch or overlap are merged into one read — duplicate
+   requests for the same sample collapse into a single transfer,
+3. merged spans larger than ``max_read_bytes`` are cut back into several
+   reads so one giant get cannot monopolise a NIC stream.
+
+Every read carries :class:`ReadSlice` scatter records mapping its payload
+bytes back to the requesting positions, so callers can reassemble samples
+in request order (including samples split across reads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["ReadSlice", "PlannedRead", "FetchPlan", "FetchPlanner"]
+
+
+@dataclass(frozen=True)
+class ReadSlice:
+    """Maps a byte range of one read's payload back to a request."""
+
+    position: int  # the caller's request slot this slice belongs to
+    sample_offset: int  # where these bytes land inside the sample payload
+    read_offset: int  # where they sit inside the read payload
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class PlannedRead:
+    """One wire operation against a single target rank."""
+
+    target: int
+    offset: int
+    nbytes: int
+    slices: tuple[ReadSlice, ...]
+
+    @property
+    def request(self) -> tuple[int, int, int]:
+        """The ``(target, offset, nbytes)`` triple transports consume."""
+        return (self.target, self.offset, self.nbytes)
+
+
+@dataclass(frozen=True)
+class FetchPlan:
+    """The full set of reads covering one batch of sample requests."""
+
+    reads: tuple[PlannedRead, ...]
+    n_requests: int
+
+    @property
+    def n_reads(self) -> int:
+        return len(self.reads)
+
+    @property
+    def targets(self) -> tuple[int, ...]:
+        return tuple(sorted({r.target for r in self.reads}))
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes actually moved over the wire (deduplicated)."""
+        return sum(r.nbytes for r in self.reads)
+
+    def requests(self) -> list[tuple[int, int, int]]:
+        return [r.request for r in self.reads]
+
+
+class FetchPlanner:
+    """Plans remote fetches for a transport.
+
+    ``coalesce=False`` reproduces the seed behaviour exactly: one read per
+    request, in request order, no splitting.  ``max_read_bytes`` (only
+    honoured when coalescing) bounds the size of any single read; spans —
+    and single oversized samples — larger than that are split.
+    """
+
+    def __init__(self, coalesce: bool = True, max_read_bytes: Optional[int] = None) -> None:
+        if max_read_bytes is not None and max_read_bytes < 1:
+            raise ValueError(f"max_read_bytes must be positive, got {max_read_bytes}")
+        self.coalesce = coalesce
+        self.max_read_bytes = max_read_bytes
+
+    def plan(
+        self,
+        targets: Sequence[int] | np.ndarray,
+        offsets: Sequence[int] | np.ndarray,
+        sizes: Sequence[int] | np.ndarray,
+        positions: Optional[Sequence[int] | np.ndarray] = None,
+    ) -> FetchPlan:
+        """Build a plan for per-request ``(target, offset, size)`` arrays.
+
+        ``positions`` labels each request for the scatter records (default:
+        its index in the input arrays).  Zero-size requests produce no
+        slices; callers should pre-fill their payloads as empty.
+        """
+        targets = np.asarray(targets, dtype=np.int64)
+        offsets = np.asarray(offsets, dtype=np.int64)
+        sizes = np.asarray(sizes, dtype=np.int64)
+        n = targets.size
+        if not (offsets.size == n and sizes.size == n):
+            raise ValueError("targets/offsets/sizes must have equal length")
+        if positions is None:
+            positions = np.arange(n, dtype=np.int64)
+        else:
+            positions = np.asarray(positions, dtype=np.int64)
+            if positions.size != n:
+                raise ValueError("positions must match the request arrays")
+        if n == 0:
+            return FetchPlan(reads=(), n_requests=0)
+
+        if not self.coalesce:
+            reads = tuple(
+                PlannedRead(
+                    target=int(t),
+                    offset=int(o),
+                    nbytes=int(s),
+                    slices=(ReadSlice(int(p), 0, 0, int(s)),),
+                )
+                for t, o, s, p in zip(targets, offsets, sizes, positions)
+            )
+            return FetchPlan(reads=reads, n_requests=n)
+
+        order = np.lexsort((offsets, targets))
+        reads: list[PlannedRead] = []
+        i = 0
+        while i < n:
+            j = int(order[i])
+            target = int(targets[j])
+            span_lo = int(offsets[j])
+            span_hi = span_lo + int(sizes[j])
+            members = [j]
+            k = i + 1
+            while k < n:
+                m = int(order[k])
+                if int(targets[m]) != target or int(offsets[m]) > span_hi:
+                    break
+                span_hi = max(span_hi, int(offsets[m]) + int(sizes[m]))
+                members.append(m)
+                k += 1
+            reads.extend(
+                self._emit_span(target, span_lo, span_hi, members, offsets, sizes, positions)
+            )
+            i = k
+        return FetchPlan(reads=tuple(reads), n_requests=n)
+
+    def _emit_span(
+        self,
+        target: int,
+        span_lo: int,
+        span_hi: int,
+        members: list[int],
+        offsets: np.ndarray,
+        sizes: np.ndarray,
+        positions: np.ndarray,
+    ) -> list[PlannedRead]:
+        max_nb = self.max_read_bytes
+        if max_nb is None or span_hi - span_lo <= max_nb:
+            pieces = [(span_lo, span_hi)]
+        else:
+            pieces = []
+            a = span_lo
+            while a < span_hi:
+                b = min(a + max_nb, span_hi)
+                pieces.append((a, b))
+                a = b
+        out = []
+        for a, b in pieces:
+            slices = []
+            for j in members:
+                o, s = int(offsets[j]), int(sizes[j])
+                lo, hi = max(a, o), min(b, o + s)
+                if lo >= hi:
+                    continue
+                slices.append(ReadSlice(int(positions[j]), lo - o, lo - a, hi - lo))
+            out.append(
+                PlannedRead(target=target, offset=int(a), nbytes=int(b - a), slices=tuple(slices))
+            )
+        return out

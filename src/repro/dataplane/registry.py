@@ -1,0 +1,65 @@
+"""Transport registry: ``framework`` config values -> Transport classes.
+
+The store never names a transport class; it resolves
+``DDStoreConfig.framework`` here.  Third-party backends plug in without
+touching core code::
+
+    from repro.dataplane import Transport, register_transport
+
+    @register_transport
+    class MyTransport(Transport):
+        name = "my-fabric"
+        ...
+
+    store = yield from DDStore.create(comm, source, framework="my-fabric")
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .transport import Transport
+
+__all__ = [
+    "register_transport",
+    "unregister_transport",
+    "get_transport",
+    "available_frameworks",
+]
+
+_TRANSPORTS: dict[str, type] = {}
+
+
+def register_transport(cls: "type[Transport]", *, replace: bool = False) -> "type[Transport]":
+    """Register a Transport class under its ``name`` (usable as decorator)."""
+    name = getattr(cls, "name", None)
+    if not isinstance(name, str) or not name:
+        raise ValueError(f"transport class {cls!r} must define a non-empty string `name`")
+    existing = _TRANSPORTS.get(name)
+    if existing is not None and existing is not cls and not replace:
+        raise ValueError(
+            f"transport {name!r} is already registered to {existing.__name__}; "
+            "pass replace=True to override"
+        )
+    _TRANSPORTS[name] = cls
+    return cls
+
+
+def unregister_transport(name: str) -> None:
+    """Remove a registration (primarily for tests)."""
+    _TRANSPORTS.pop(name, None)
+
+
+def get_transport(name: str) -> "type[Transport]":
+    try:
+        return _TRANSPORTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown data-plane framework {name!r}; registered: {available_frameworks()}"
+        ) from None
+
+
+def available_frameworks() -> tuple[str, ...]:
+    """Registered framework names, in registration order."""
+    return tuple(_TRANSPORTS)

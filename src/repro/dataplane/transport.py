@@ -1,0 +1,195 @@
+"""Data-plane transports: how one rank reads bytes out of another's chunk.
+
+The paper's framework knob ``f`` (§3.1) selects between a one-sided MPI
+RMA design (shipped) and a two-sided message exchange (rejected; kept as
+an ablation).  Both live here as :class:`Transport` implementations so
+:class:`~repro.core.store.DDStore` holds no communication code of its
+own — it plans reads (see :mod:`.planner`) and hands them to whichever
+transport the registry resolved for ``config.framework``.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import ClassVar, Generator, Optional, Sequence
+
+import numpy as np
+
+from ..mpi import LOCK_SHARED, Comm, WinHandle, create_window, waitall
+from ..sim import RngRegistry
+from .planner import PlannedRead
+
+__all__ = ["FetchOutcome", "Transport", "RmaTransport", "P2PTransport"]
+
+_TAG_FETCH_REQ = 71001
+_TAG_REPLY_BASE = 72000
+_SHUTDOWN = ("__ddstore_shutdown__",)
+_P2P_POLL_WINDOW_S = 1.0e-3  # how long a busy target takes to notice a request
+
+
+@dataclass
+class FetchOutcome:
+    """What a transport hands back for one batch of planned reads."""
+
+    payloads: list  # one np.uint8 array per read, in read order
+    latencies: Optional[np.ndarray] = None  # per-read seconds, when known
+    stage_seconds: dict[str, float] = field(default_factory=dict)  # e.g. lock/get
+
+
+class Transport(abc.ABC):
+    """One rank's handle on the replica group's data plane.
+
+    Implementations are registered with
+    :func:`~repro.dataplane.registry.register_transport` under their
+    ``name`` and resolved through the ``framework`` field of
+    :class:`~repro.core.config.DDStoreConfig`.
+    """
+
+    #: registry key (the config ``framework`` value selecting this class)
+    name: ClassVar[str]
+    #: True when arbitrary coalesced byte ranges can be served in bulk;
+    #: False forces the planner into one-read-per-sample mode.
+    supports_coalescing: ClassVar[bool] = True
+
+    @classmethod
+    @abc.abstractmethod
+    def setup(
+        cls, group_comm: Comm, buffer: np.ndarray, *, record_latencies: bool = False
+    ) -> Generator:
+        """Collectively wire the transport over a replica group.
+
+        Every group member calls this with its own chunk ``buffer``;
+        returns this rank's transport instance.
+        """
+
+    @abc.abstractmethod
+    def fetch(self, reads: Sequence[PlannedRead], n_streams: int = 1) -> Generator:
+        """Coroutine executing remote reads; returns a :class:`FetchOutcome`."""
+
+    @abc.abstractmethod
+    def local_buffer(self) -> np.ndarray:
+        """This rank's exposed chunk bytes (uint8 view)."""
+
+    def shutdown(self) -> Generator:
+        """Stop any target-side service machinery (default: nothing to do)."""
+        return
+        yield  # pragma: no cover - generator for API symmetry
+
+
+class RmaTransport(Transport):
+    """The paper's data plane: shared-lock epochs + batched ``MPI_Get``."""
+
+    name = "mpi-rma"
+    supports_coalescing = True
+
+    def __init__(self, win: WinHandle) -> None:
+        self.win = win
+
+    @classmethod
+    def setup(
+        cls, group_comm: Comm, buffer: np.ndarray, *, record_latencies: bool = False
+    ) -> Generator:
+        win = yield from create_window(group_comm, buffer)
+        if record_latencies:
+            win.window.record_gets = True
+        return cls(win)
+
+    def local_buffer(self) -> np.ndarray:
+        return self.win.local
+
+    def fetch(self, reads: Sequence[PlannedRead], n_streams: int = 1) -> Generator:
+        if not reads:
+            return FetchOutcome(payloads=[])
+        win = self.win
+        engine = win.engine
+        targets = sorted({r.target for r in reads})
+        t0 = engine.now
+        for t in targets:
+            yield from win.lock(t, LOCK_SHARED)
+        t_locked = engine.now
+        payloads = yield from win.get_batch([r.request for r in reads], n_streams=n_streams)
+        t_got = engine.now
+        latencies = win.last_latencies
+        for t in targets:
+            yield from win.unlock(t)
+        return FetchOutcome(
+            payloads=payloads,
+            latencies=latencies,
+            stage_seconds={"lock": t_locked - t0, "get": t_got - t_locked},
+        )
+
+
+class P2PTransport(Transport):
+    """Two-sided ablation: ask the owner, wait for it to notice and reply.
+
+    Every fetch needs the *target's* cooperation, which costs a polling
+    delay while the target is busy training — the §3.1 argument for RMA.
+    Reads stay one-per-sample (``supports_coalescing = False``) to match
+    the rejected design's request/reply granularity.
+    """
+
+    name = "p2p"
+    supports_coalescing = False
+
+    def __init__(self, group_comm: Comm, buffer: np.ndarray) -> None:
+        self.group_comm = group_comm
+        self._buffer = np.ascontiguousarray(buffer).view(np.uint8).reshape(-1)
+        self._reply_seq = 0
+        self._rng = RngRegistry("ddstore-p2p", group_comm.world_rank)
+        self._responder = group_comm.engine.process(
+            self._respond_loop(), name=f"ddstore-responder[{group_comm.world_rank}]"
+        )
+
+    @classmethod
+    def setup(
+        cls, group_comm: Comm, buffer: np.ndarray, *, record_latencies: bool = False
+    ) -> Generator:
+        return cls(group_comm, buffer)
+        yield  # pragma: no cover - generator for API symmetry
+
+    def local_buffer(self) -> np.ndarray:
+        return self._buffer
+
+    def fetch(self, reads: Sequence[PlannedRead], n_streams: int = 1) -> Generator:
+        if not reads:
+            return FetchOutcome(payloads=[])
+        comm = self.group_comm
+        engine = comm.engine
+        issue = engine.now
+        reply_reqs = []
+        for r in reads:
+            self._reply_seq += 1
+            reply_tag = _TAG_REPLY_BASE + self._reply_seq
+            req = (r.offset, r.nbytes, reply_tag, comm.rank)
+            yield from comm.send(req, dest=r.target, tag=_TAG_FETCH_REQ)
+            reply_reqs.append(comm.irecv(source=r.target, tag=reply_tag))
+        payloads = yield from waitall(reply_reqs)
+        done = engine.now
+        latencies = np.full(len(reads), (done - issue) / max(len(reads), 1))
+        return FetchOutcome(
+            payloads=list(payloads),
+            latencies=latencies,
+            stage_seconds={"get": done - issue},
+        )
+
+    def _respond_loop(self) -> Generator:
+        """Target-side service loop of the two-sided design."""
+        comm = self.group_comm
+        engine = comm.engine
+        rng = self._rng.get("poll")
+        while True:
+            msg = yield comm.irecv(tag=_TAG_FETCH_REQ)
+            if msg == _SHUTDOWN:
+                return
+            offset, nbytes, reply_tag, requester = msg
+            # The target is busy computing; it notices the request at its
+            # next data-loader poll point.
+            yield engine.timeout(float(rng.uniform(0.0, _P2P_POLL_WINDOW_S)))
+            payload = self._buffer[offset : offset + nbytes].copy()
+            yield from comm.send(payload, dest=requester, tag=reply_tag)
+
+    def shutdown(self) -> Generator:
+        yield from self.group_comm.send(
+            _SHUTDOWN, dest=self.group_comm.rank, tag=_TAG_FETCH_REQ
+        )

@@ -63,18 +63,26 @@ class RegressionMetrics:
     sum_abs_err: float = 0.0
     sum_sq_err: float = 0.0
     worst: float = 0.0
-    sum_t: float = 0.0
-    sum_t2: float = 0.0
+    # target mean / centered second moment, merged batch-by-batch with
+    # Chan's parallel update — the naive sum_t2 - sum_t²/n form loses all
+    # significant digits when the target mean dwarfs its spread.
+    mean_t: float = 0.0
+    m2_t: float = 0.0
 
     def update(self, pred: np.ndarray, target: np.ndarray) -> None:
         pred, target = _check(pred, target)
         err = pred - target
-        self.n += err.size
+        nb = err.size
         self.sum_abs_err += float(np.abs(err).sum())
         self.sum_sq_err += float((err**2).sum())
         self.worst = max(self.worst, float(np.abs(err).max()))
-        self.sum_t += float(target.sum())
-        self.sum_t2 += float((target**2).sum())
+        mb = float(target.mean())
+        m2b = float(((target - mb) ** 2).sum())
+        delta = mb - self.mean_t
+        total = self.n + nb
+        self.m2_t += m2b + delta * delta * self.n * nb / total
+        self.mean_t += delta * nb / total
+        self.n = total
 
     def _require_data(self) -> None:
         if self.n == 0:
@@ -102,7 +110,7 @@ class RegressionMetrics:
     @property
     def r_squared(self) -> float:
         self._require_data()
-        ss_tot = self.sum_t2 - self.sum_t**2 / self.n
+        ss_tot = self.m2_t
         if ss_tot <= 0.0:
             return 1.0 if self.sum_sq_err == 0.0 else 0.0
         return 1.0 - self.sum_sq_err / ss_tot

@@ -1,0 +1,385 @@
+"""Data-plane layer tests: planner coalescing, sample cache, transport
+registry, and the DDStore integration (seed-parity counters, cache hits,
+per-stage instrumentation)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DDStore, DDStoreConfig, GeneratorSource
+from repro.dataplane import (
+    FetchPlanner,
+    RmaTransport,
+    SampleCache,
+    available_frameworks,
+    get_transport,
+    register_transport,
+    unregister_transport,
+)
+from repro.graphs import IsingGenerator
+from repro.hardware import TESTBOX
+from repro.mpi import run_world
+
+
+def run(fn, n_nodes=2, **kw):
+    return run_world(TESTBOX, n_nodes, fn, **kw)
+
+
+def _source(ctx, n=32, seed=0):
+    return GeneratorSource(IsingGenerator(n, seed=seed), ctx.world.machine)
+
+
+# ---------------------------------------------------------------------------
+# FetchPlanner
+# ---------------------------------------------------------------------------
+
+def test_planner_merges_adjacent_ranges():
+    plan = FetchPlanner().plan(targets=[1, 1, 1], offsets=[0, 10, 20], sizes=[10, 10, 10])
+    assert plan.n_reads == 1
+    read = plan.reads[0]
+    assert read.request == (1, 0, 30)
+    assert [s.position for s in read.slices] == [0, 1, 2]
+    assert [(s.read_offset, s.nbytes) for s in read.slices] == [(0, 10), (10, 10), (20, 10)]
+
+
+def test_planner_keeps_gapped_ranges_separate():
+    plan = FetchPlanner().plan(targets=[1, 1], offsets=[0, 100], sizes=[10, 10])
+    assert plan.n_reads == 2
+    assert plan.reads[0].request == (1, 0, 10)
+    assert plan.reads[1].request == (1, 100, 10)
+
+
+def test_planner_groups_per_target():
+    # Adjacent offsets on *different* targets must not merge.
+    plan = FetchPlanner().plan(targets=[1, 2, 1], offsets=[0, 10, 10], sizes=[10, 10, 10])
+    assert plan.n_reads == 2
+    assert plan.targets == (1, 2)
+    by_target = {r.target: r for r in plan.reads}
+    assert by_target[1].nbytes == 20  # positions 0 and 2 merged
+    assert by_target[2].nbytes == 10
+
+
+def test_planner_deduplicates_overlapping_requests():
+    # The same sample requested twice moves its bytes once.
+    plan = FetchPlanner().plan(targets=[3, 3], offsets=[40, 40], sizes=[8, 8])
+    assert plan.n_reads == 1
+    assert plan.total_bytes == 8
+    assert sorted(s.position for s in plan.reads[0].slices) == [0, 1]
+
+
+def test_planner_splits_oversized_spans():
+    plan = FetchPlanner(max_read_bytes=16).plan(
+        targets=[0, 0], offsets=[0, 16], sizes=[16, 16]
+    )
+    assert plan.n_reads == 2
+    assert all(r.nbytes == 16 for r in plan.reads)
+    # One single sample bigger than the cap is also split...
+    plan = FetchPlanner(max_read_bytes=10).plan(targets=[0], offsets=[0], sizes=[25])
+    assert [r.nbytes for r in plan.reads] == [10, 10, 5]
+    # ...and its scatter records reassemble the full payload.
+    covered = sorted(
+        (s.sample_offset, s.sample_offset + s.nbytes)
+        for r in plan.reads
+        for s in r.slices
+    )
+    assert covered == [(0, 10), (10, 20), (20, 25)]
+    assert plan.total_bytes == 25
+
+
+def test_planner_coalesce_off_is_one_read_per_request():
+    plan = FetchPlanner(coalesce=False).plan(
+        targets=[1, 1, 2], offsets=[10, 0, 5], sizes=[4, 10, 6]
+    )
+    # Request order preserved, nothing merged.
+    assert [r.request for r in plan.reads] == [(1, 10, 4), (1, 0, 10), (2, 5, 6)]
+    assert all(len(r.slices) == 1 and r.slices[0].position == i
+               for i, r in enumerate(plan.reads))
+
+
+def test_planner_positions_label_slices():
+    plan = FetchPlanner().plan(
+        targets=[1, 1], offsets=[0, 10], sizes=[10, 10], positions=[7, 3]
+    )
+    assert sorted(s.position for s in plan.reads[0].slices) == [3, 7]
+
+
+def test_planner_empty_and_validation():
+    assert FetchPlanner().plan([], [], []).n_reads == 0
+    with pytest.raises(ValueError, match="equal length"):
+        FetchPlanner().plan([1], [0, 1], [4])
+    with pytest.raises(ValueError, match="max_read_bytes"):
+        FetchPlanner(max_read_bytes=0)
+
+
+# ---------------------------------------------------------------------------
+# SampleCache
+# ---------------------------------------------------------------------------
+
+def test_cache_disabled_by_default():
+    cache = SampleCache()
+    assert not cache.enabled
+    assert cache.put(1, np.ones(8, np.uint8)) is False
+    assert len(cache) == 0
+
+
+def test_cache_hit_miss_accounting():
+    cache = SampleCache(capacity_bytes=64)
+    payload = np.arange(16, dtype=np.uint8)
+    assert cache.get(1) is None
+    assert cache.put(1, payload) is True
+    got = cache.get(1)
+    assert got is not None and np.array_equal(got, payload)
+    assert cache.stats.hits == 1
+    assert cache.stats.misses == 1
+    assert cache.stats.hit_bytes == 16
+    assert cache.used_bytes == 16
+
+
+def test_cache_evicts_lru_under_byte_budget():
+    cache = SampleCache(capacity_bytes=32)
+    cache.put(1, np.zeros(16, np.uint8))
+    cache.put(2, np.zeros(16, np.uint8))
+    cache.get(1)  # refresh key 1: key 2 is now least recently used
+    cache.put(3, np.zeros(16, np.uint8))
+    assert 1 in cache and 3 in cache and 2 not in cache
+    assert cache.stats.evictions == 1
+    assert cache.stats.evicted_bytes == 16
+    assert cache.used_bytes == 32
+
+
+def test_cache_rejects_oversized_payload():
+    cache = SampleCache(capacity_bytes=8)
+    assert cache.put(1, np.zeros(9, np.uint8)) is False
+    assert len(cache) == 0
+
+
+# ---------------------------------------------------------------------------
+# transport registry
+# ---------------------------------------------------------------------------
+
+def test_registry_rejects_duplicate_and_unknown_names():
+    assert "mpi-rma" in available_frameworks()
+
+    class Imposter(RmaTransport):
+        name = "mpi-rma"
+
+    with pytest.raises(ValueError, match="already registered"):
+        register_transport(Imposter)
+    with pytest.raises(KeyError, match="no-such-fabric"):
+        get_transport("no-such-fabric")
+
+
+def test_unknown_framework_error_mentions_framework():
+    with pytest.raises(ValueError, match="framework"):
+        DDStoreConfig(4, framework="carrier-pigeon")
+
+
+def test_third_party_transport_pluggable_without_touching_store():
+    """A new transport registered in the test is usable via ``framework=``."""
+
+    class TracingRma(RmaTransport):
+        name = "tracing-rma"
+        fetch_reads: list = []
+
+        def fetch(self, reads, n_streams=1):
+            type(self).fetch_reads.append(len(reads))
+            out = yield from super().fetch(reads, n_streams=n_streams)
+            return out
+
+    register_transport(TracingRma)
+    try:
+        def main(ctx):
+            store = yield from DDStore.create(
+                ctx.comm, _source(ctx), framework="tracing-rma"
+            )
+            assert store.config.framework == "tracing-rma"
+            lo, hi = store.local_range
+            graphs = yield from store.get_samples([(hi + 1) % 32, lo])
+            return [g.sample_id for g in graphs]
+
+        job = run(main)
+        assert all(len(r) == 2 for r in job.results)
+        assert len(TracingRma.fetch_reads) > 0  # the custom fetch path ran
+    finally:
+        unregister_transport("tracing-rma")
+    assert "tracing-rma" not in available_frameworks()
+
+
+# ---------------------------------------------------------------------------
+# DDStore integration: counters, parity, cache, stages
+# ---------------------------------------------------------------------------
+
+def _contiguous_remote_fetch(ctx, **create_kw):
+    """Fetch the 8 contiguous samples owned by the next rank over."""
+    store = yield from DDStore.create(ctx.comm, _source(ctx), **create_kw)
+    lo, hi = store.local_range
+    remote = [(hi + k) % 32 for k in range(8)]
+    graphs = yield from store.get_samples(remote)
+    return store.stats, [g.sample_id for g in graphs]
+
+
+def test_coalescing_reduces_get_calls_for_contiguous_batch():
+    job = run(lambda c: _contiguous_remote_fetch(c))
+    for stats, _ids in job.results:
+        assert stats.n_remote == 8
+        # One lock epoch + one merged read instead of 8 gets.
+        assert stats.n_get_calls < stats.n_remote
+        assert stats.n_get_calls == 1
+        # Adjacent (non-overlapping) ranges: wire bytes == logical bytes.
+        assert stats.bytes_transferred == stats.bytes_remote
+
+
+def test_coalesce_off_matches_one_get_per_sample():
+    job = run(lambda c: _contiguous_remote_fetch(c, coalesce=False))
+    for stats, _ids in job.results:
+        assert stats.n_get_calls == stats.n_remote == 8
+
+
+def test_default_config_preserves_seed_counters():
+    """Cache off + coalescing on must not change what was fetched."""
+    on = run(lambda c: _contiguous_remote_fetch(c)).results
+    off = run(lambda c: _contiguous_remote_fetch(c, coalesce=False)).results
+    for (s_on, ids_on), (s_off, ids_off) in zip(on, off):
+        assert ids_on == ids_off
+        assert s_on.n_local == s_off.n_local == 0
+        assert s_on.n_remote == s_off.n_remote
+        assert s_on.bytes_remote == s_off.bytes_remote
+        assert s_on.n_cache_hits == s_off.n_cache_hits == 0
+        assert s_on.n_total == s_off.n_total == 8
+
+
+def test_coalesced_fetch_returns_identical_graphs():
+    gen = IsingGenerator(32, seed=0)
+
+    def main(ctx, coalesce):
+        store = yield from DDStore.create(ctx.comm, _source(ctx), coalesce=coalesce)
+        order = [31, 0, 16, 5, 5, 9, 10, 11]
+        graphs = yield from store.get_samples(order)
+        return graphs
+
+    a = run(lambda c: main(c, True)).results[0]
+    b = run(lambda c: main(c, False)).results[0]
+    for ga, gb, want in zip(a, b, [31, 0, 16, 5, 5, 9, 10, 11]):
+        assert ga.sample_id == gb.sample_id == want
+        assert ga.allclose(gen.make(want))
+
+
+def test_sample_cache_serves_repeat_fetches():
+    gen = IsingGenerator(32, seed=0)
+
+    def main(ctx):
+        store = yield from DDStore.create(
+            ctx.comm, _source(ctx), cache_bytes=1 << 20
+        )
+        lo, hi = store.local_range
+        remote = [(hi + k) % 32 for k in range(8)]
+        first = yield from store.get_samples(remote)
+        after_first = (store.stats.n_remote, store.stats.n_cache_hits)
+        second = yield from store.get_samples(remote)
+        after_second = (store.stats.n_remote, store.stats.n_cache_hits)
+        return remote, first, second, after_first, after_second
+
+    job = run(main)
+    for remote, first, second, (rem1, hits1), (rem2, hits2) in job.results:
+        assert (rem1, hits1) == (8, 0)
+        assert rem2 == 8  # the second pass went to the cache, not the wire
+        assert hits2 == 8
+        for g1, g2, want in zip(first, second, remote):
+            assert g1.sample_id == g2.sample_id == want
+            assert g1.allclose(gen.make(want))
+
+
+def test_cache_disabled_takes_no_hits():
+    def main(ctx):
+        store = yield from DDStore.create(ctx.comm, _source(ctx))
+        lo, hi = store.local_range
+        remote = [(hi + k) % 32 for k in range(4)]
+        yield from store.get_samples(remote)
+        yield from store.get_samples(remote)
+        return store.stats.n_remote, store.stats.n_cache_hits, len(store.cache)
+
+    job = run(main)
+    for n_remote, hits, cached in job.results:
+        assert (n_remote, hits, cached) == (8, 0, 0)
+
+
+def test_max_read_bytes_splits_wire_reads():
+    def main(ctx):
+        store = yield from DDStore.create(
+            ctx.comm, _source(ctx), max_read_bytes=256
+        )
+        lo, hi = store.local_range
+        remote = [(hi + k) % 32 for k in range(8)]
+        graphs = yield from store.get_samples(remote)
+        return store.stats, [g.sample_id for g in graphs]
+
+    job = run(main)
+    for stats, ids in job.results:
+        assert len(ids) == 8
+        assert stats.n_get_calls > 1  # the merged span exceeds 256 bytes
+        assert stats.bytes_transferred == stats.bytes_remote
+
+
+def test_fetch_stage_seconds_recorded():
+    def main(ctx):
+        store = yield from DDStore.create(ctx.comm, _source(ctx))
+        lo, hi = store.local_range
+        mixed = [lo, (hi + 1) % 32, (hi + 2) % 32]
+        yield from store.get_samples(mixed)
+        return dict(store.stats.stage_seconds)
+
+    job = run(main)
+    for stages in job.results:
+        for stage in ("plan", "get", "copy", "decode"):
+            assert stages.get(stage, 0.0) > 0.0
+        # An intra-node shared lock can be free in virtual time; when it
+        # does cost anything, it must be accounted under "lock".
+        assert stages.get("lock", 0.0) >= 0.0
+        assert "cache" not in stages  # cache disabled -> no cache stage
+
+
+def test_reshard_with_cache_and_coalescing():
+    gen = IsingGenerator(32, seed=0)
+
+    def main(ctx):
+        store = yield from DDStore.create(
+            ctx.comm, _source(ctx), cache_bytes=1 << 20
+        )
+        store2 = yield from store.reshard(width=2)
+        assert store2.config.cache_bytes == 1 << 20
+        graphs = yield from store2.get_samples([30, 3])
+        return graphs
+
+    job = run(main)
+    for graphs in job.results:
+        assert graphs[0].allclose(gen.make(30))
+        assert graphs[1].allclose(gen.make(3))
+
+
+# ---------------------------------------------------------------------------
+# up-front config validation
+# ---------------------------------------------------------------------------
+
+def test_width_error_lists_valid_divisors():
+    with pytest.raises(ValueError, match=r"must divide") as exc:
+        DDStoreConfig(8, width=3)
+    assert "[1, 2, 4, 8]" in str(exc.value)
+
+
+def test_cache_bytes_validated():
+    with pytest.raises(ValueError, match="cache_bytes"):
+        DDStoreConfig(4, cache_bytes=-1)
+    with pytest.raises(ValueError, match="max_read_bytes"):
+        DDStoreConfig(4, max_read_bytes=0)
+
+
+def test_experiment_config_validates_width_up_front():
+    from repro.bench import ExperimentConfig
+
+    with pytest.raises(ValueError, match="must divide"):
+        ExperimentConfig(
+            machine="perlmutter", n_nodes=2, method="ddstore", width=3
+        )
+    with pytest.raises(ValueError, match="cache_bytes"):
+        ExperimentConfig(
+            machine="perlmutter", n_nodes=2, method="ddstore", cache_bytes=-5
+        )
