@@ -35,6 +35,7 @@ __all__ = [
     "ablation_workers",
     "ablation_cache",
     "ablation_conv_policy",
+    "ablation_resilience",
 ]
 
 
@@ -122,6 +123,109 @@ def ablation_coalescing(profile: Optional[ScaleProfile] = None):
         rows,
         title="Ablation — fetch coalescing and hot-sample cache (DDStore, 2 epochs)",
     )
+    return text, data
+
+
+# ---------------------------------------------------------------------------
+# fault injection: straggler recovery with replica failover
+# ---------------------------------------------------------------------------
+
+
+#: Per-read fetch timeout for the resilience cells.  At width=2 every
+#: replica-group read rides the intra-node shared-memory path (~0.03 ms
+#: plus jitter tail), while a 10x-straggled one takes ~0.3 ms — 0.15 ms
+#: sits between them, so only straggler-bound reads trip it.
+RESILIENCE_TIMEOUT_S = 1.5e-4
+
+
+def ablation_resilience(profile: Optional[ScaleProfile] = None):
+    """Throughput/latency-tail recovery under an injected straggler.
+
+    Three cells on a width-2 store (the paper's Table 3 sweet spot —
+    every chunk has an owner in N/2 replica groups, several per node): a
+    fault-free baseline, a 10x straggler rank with failover *off*
+    (timeout + retry only — retried reads keep hammering the slow peer),
+    and the same straggler with failover *on* (retries re-route to the
+    nearest healthy replica's owner, normally on the same node).
+    DESIGN.md's extension list and the RapidGNN/Atompack arguments both
+    say this is where a peer-serving store wins or loses; the paper never
+    tests it.
+    """
+    profile = profile or current_profile()
+
+    def cell(**kw):
+        base = _base_cfg(profile, method="ddstore", epochs=1, **kw)
+        if base.n_ranks % 2:
+            raise ValueError("resilience ablation needs an even rank count")
+        return replace(base, width=2)
+
+    variants = (
+        ("baseline (no fault)", dict()),
+        (
+            "straggler, failover off",
+            dict(
+                fault_plan="straggler-10x",
+                timeout_s=RESILIENCE_TIMEOUT_S,
+                failover=False,
+            ),
+        ),
+        (
+            "straggler, failover on",
+            dict(
+                fault_plan="straggler-10x",
+                timeout_s=RESILIENCE_TIMEOUT_S,
+                failover=True,
+            ),
+        ),
+    )
+    rows = []
+    data = {}
+    for label, kw in variants:
+        r = cached_experiment(cell(**kw))
+        pct = latency_percentiles(r.latencies)
+        c = r.fetch_counters
+        rows.append(
+            [
+                label,
+                f"{r.throughput:,.0f}",
+                f"{pct[50] * 1e3:.3f}",
+                f"{pct[99] * 1e3:.3f}",
+                f"{c.get('n_timeouts', 0):,}",
+                f"{c.get('n_retries', 0):,}",
+                f"{c.get('n_failovers', 0):,}",
+            ]
+        )
+        data[label] = dict(
+            throughput=r.throughput,
+            p50=pct[50],
+            p99=pct[99],
+            counters=dict(c),
+            stages=dict(r.fetch_stages),
+        )
+
+    base = data["baseline (no fault)"]
+    off = data["straggler, failover off"]
+    on = data["straggler, failover on"]
+    lost = base["throughput"] - off["throughput"]
+    data["recovered_fraction"] = (
+        (on["throughput"] - off["throughput"]) / lost if lost > 0 else 1.0
+    )
+    # The fetched sample set is identical in every cell (same seed, same
+    # shuffle): faults may only change *timing*, never *bytes*.
+    data["bytes_match_baseline"] = all(
+        d["counters"].get("bytes_remote") == base["counters"].get("bytes_remote")
+        and d["counters"].get("n_remote") == base["counters"].get("n_remote")
+        for d in (off, on)
+    )
+    text = render_table(
+        ["Cell", "samples/s", "p50 (ms)", "p99 (ms)", "timeouts", "retries", "failovers"],
+        rows,
+        title=(
+            "Ablation — resilience under a 10x straggler rank "
+            f"(width=2, timeout={RESILIENCE_TIMEOUT_S * 1e3:.2f} ms)"
+        ),
+    )
+    text += f"\nrecovered fraction of lost throughput: {data['recovered_fraction']:.2f}"
     return text, data
 
 

@@ -22,11 +22,13 @@ import numpy as np
 
 from ..core import (
     DataLoader,
+    DataPlaneOptions,
     DDStore,
     DDStoreConfig,
     DDStoreDataset,
     FileDataset,
     ReaderSource,
+    ResilienceOptions,
 )
 from ..gnn import AdamW, DistributedModel, HydraGNN, HydraGNNConfig, PhaseTimes, Trainer
 from ..graphs.datasets import DATASETS
@@ -98,6 +100,11 @@ class ExperimentConfig:
     n_workers: int = 1  # effective concurrent loader workers per rank
     cache_bytes: int = 0  # DDStore hot-sample cache budget (0 = off)
     coalesce: bool = True  # DDStore fetch-request coalescing
+    # fault injection + resilience (see repro.faults / ResilienceOptions)
+    fault_plan: Optional[str] = None  # named plan, e.g. "straggler-10x"
+    timeout_s: Optional[float] = None  # per-read fetch timeout (None = off)
+    max_retries: int = 2
+    failover: bool = True  # re-route timed-out reads to another replica
 
     def __post_init__(self) -> None:
         if self.method not in METHODS:
@@ -106,16 +113,35 @@ class ExperimentConfig:
             raise ValueError(f"unknown dataset {self.dataset!r}")
         if self.batch_size < 1 or self.epochs < 1 or self.steps_per_epoch < 1:
             raise ValueError("batch_size, epochs, steps_per_epoch must be positive")
+        if self.fault_plan is not None:
+            from ..faults import available_fault_plans
+
+            if self.fault_plan not in available_fault_plans():
+                raise ValueError(
+                    f"unknown fault plan {self.fault_plan!r}; "
+                    f"options: {available_fault_plans()}"
+                )
         if self.method in ("ddstore", "ddstore-p2p"):
             # Fail at configuration time, not minutes into the run: an
             # invalid width/cache setting raises here with the valid options.
-            DDStoreConfig(
-                self.n_ranks,
-                width=self.width,
+            self.ddstore_config()
+
+    def ddstore_config(self) -> DDStoreConfig:
+        """The nested-options DDStore configuration this cell runs with."""
+        return DDStoreConfig(
+            self.n_ranks,
+            width=self.width,
+            dataplane=DataPlaneOptions(
                 framework="p2p" if self.method == "ddstore-p2p" else "mpi-rma",
                 cache_bytes=self.cache_bytes,
                 coalesce=self.coalesce,
-            )
+            ),
+            resilience=ResilienceOptions(
+                timeout_s=self.timeout_s,
+                max_retries=self.max_retries,
+                failover=self.failover,
+            ),
+        )
 
     @property
     def n_ranks(self) -> int:
@@ -275,14 +301,13 @@ def _rank_main(ctx, cfg: ExperimentConfig, blobs: list[bytes]):
         )
     else:
         reader = CFFReader(vfs, root, machine)
-        framework = "p2p" if cfg.method == "ddstore-p2p" else "mpi-rma"
+        store_cfg = cfg.ddstore_config()
         store = yield from DDStore.create(
             ctx.comm,
             ReaderSource(reader),
             width=cfg.width,
-            framework=framework,
-            cache_bytes=cfg.cache_bytes,
-            coalesce=cfg.coalesce,
+            dataplane=store_cfg.dataplane,
+            resilience=store_cfg.resilience,
             record_latencies=cfg.record_latencies,
         )
         dataset = DDStoreDataset(store, stats_only=cfg.stats_only, n_workers=cfg.n_workers)
@@ -349,6 +374,15 @@ def run_experiment(cfg: ExperimentConfig) -> ExperimentResult:
     gc.collect()  # drop the previous cell's world (VFS files, chunk buffers)
     blobs = packed_blobs(cfg.dataset, cfg.seed, cfg.resolved_samples())
     machine = get_machine(cfg.machine)
+    world = None
+    if cfg.fault_plan is not None:
+        # Build the world up-front so the fault plan is armed before any
+        # rank process issues traffic.
+        from ..faults import build_fault_plan, install_faults
+        from ..mpi.comm import World
+
+        world = World(machine, cfg.n_nodes, seed=cfg.seed, jitter_sigma=cfg.jitter_sigma)
+        install_faults(world, build_fault_plan(cfg.fault_plan, world.n_ranks, cfg.seed))
     job = run_world(
         machine,
         cfg.n_nodes,
@@ -357,6 +391,7 @@ def run_experiment(cfg: ExperimentConfig) -> ExperimentResult:
         blobs,
         seed=cfg.seed,
         jitter_sigma=cfg.jitter_sigma,
+        world=world,
     )
     per_rank = job.results
     elapsed = max(r["elapsed"] for r in per_rank)

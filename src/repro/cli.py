@@ -42,6 +42,7 @@ from .bench.ablations import (
     ablation_conv_policy,
     ablation_dataplane,
     ablation_nvme,
+    ablation_resilience,
     ablation_shuffle,
     ablation_workers,
 )
@@ -67,6 +68,7 @@ EXPERIMENTS: dict[str, tuple[Callable, str]] = {
     "ablation-workers": (ablation_workers, "loader-worker sensitivity"),
     "ablation-cache": (ablation_cache, "page-cache warm vs cold"),
     "ablation-conv": (ablation_conv_policy, "message-passing policy PNA/GIN/SAGE"),
+    "resilience": (ablation_resilience, "straggler fault + retry/failover recovery"),
 }
 
 # Drivers that take no profile argument.
@@ -130,7 +132,7 @@ def _cmd_dataplane(_args: argparse.Namespace) -> int:
         cls = get_transport(name)
         coal = "yes" if cls.supports_coalescing else "no"
         print(f"  {name.ljust(12)}  {cls.__module__}.{cls.__name__}  (coalescing: {coal})")
-    print("\nselect with DDStore.create(..., framework=<name>)")
+    print("\nselect with DDStore.create(..., dataplane=DataPlaneOptions(framework=<name>))")
     return 0
 
 

@@ -1,7 +1,7 @@
 """DDStore core: the paper's distributed in-memory data store."""
 
 from .chunking import ChunkLayout, balanced_partition
-from .config import DDStoreConfig, FRAMEWORKS
+from .config import DataPlaneOptions, DDStoreConfig, FRAMEWORKS, ResilienceOptions
 from .loader import (
     BatchStats,
     DataLoader,
@@ -14,10 +14,13 @@ from .loader import (
 from .preloader import DataSource, GeneratorSource, PreloadResult, ReaderSource
 from .registry import ChunkRegistry
 from .sampler import GlobalShuffleSampler, LocalShuffleSampler, iter_batches
-from .store import DDStore, FETCH_STAGES, FetchStats
+from .store import DDStore, FETCH_STAGES, FetchStats, StoreClosedError
 
 __all__ = [
     "DDStoreConfig",
+    "DataPlaneOptions",
+    "ResilienceOptions",
+    "StoreClosedError",
     "FRAMEWORKS",
     "FETCH_STAGES",
     "ChunkLayout",

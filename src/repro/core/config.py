@@ -11,54 +11,54 @@
   (message exchange requiring the target's involvement).  Any framework
   registered with :func:`repro.dataplane.register_transport` is valid.
 
-Data-plane tuning knobs (all default to seed-equivalent behaviour):
+The tuning surface is grouped into nested, individually-validated option
+dataclasses:
 
-* ``cache_bytes`` — byte budget of the per-rank hot-sample LRU cache
-  (0 disables it),
-* ``coalesce`` — merge adjacent remote byte ranges into single reads,
-* ``max_read_bytes`` — upper bound on a single coalesced read.
+* :class:`DataPlaneOptions` — the fetch path: framework, request
+  coalescing, read-size cap, hot-sample cache budget,
+* :class:`ResilienceOptions` — how a fetch behaves when a peer is slow or
+  dead: per-read virtual-time timeout, retry/backoff schedule, and
+  replica failover.
+
+Flat keyword construction (``DDStoreConfig(n, framework=..., cache_bytes=...)``)
+still works but emits :class:`DeprecationWarning`; migrate to::
+
+    DDStoreConfig(n, width=w,
+                  dataplane=DataPlaneOptions(framework="mpi-rma", cache_bytes=1 << 20),
+                  resilience=ResilienceOptions(timeout_s=1e-3, failover=True))
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, field, replace
+from typing import Optional
 
-__all__ = ["DDStoreConfig", "FRAMEWORKS"]
+__all__ = ["DataPlaneOptions", "ResilienceOptions", "DDStoreConfig", "FRAMEWORKS"]
 
 #: The built-in frameworks.  Validation consults the live transport
 #: registry, so this tuple is informational (and kept for back-compat).
 FRAMEWORKS = ("mpi-rma", "p2p")
 
+#: Flat DDStoreConfig keywords accepted for back-compat -> their new home.
+_FLAT_DATAPLANE = ("framework", "coalesce", "max_read_bytes", "cache_bytes")
+_FLAT_RESILIENCE = ("timeout_s", "max_retries", "backoff_s", "backoff_factor", "failover")
+
 
 @dataclass(frozen=True)
-class DDStoreConfig:
-    """Validated DDStore parameters for a given job size.
+class DataPlaneOptions:
+    """How bytes move: transport selection and fetch-path tuning.
 
-    ``width=None`` means the paper default ``w = N`` (single replica
-    striped over all ranks).
+    All defaults are seed-equivalent: ``mpi-rma`` with coalescing on, no
+    read-size cap, and the hot-sample cache disabled.
     """
 
-    n_ranks: int
-    width: int | None = None
     framework: str = "mpi-rma"
-    cache_bytes: int = 0
     coalesce: bool = True
-    max_read_bytes: int | None = None
+    max_read_bytes: Optional[int] = None
+    cache_bytes: int = 0
 
     def __post_init__(self) -> None:
-        if self.n_ranks < 1:
-            raise ValueError("n_ranks must be positive")
-        w = self.effective_width
-        if w < 1 or w > self.n_ranks:
-            raise ValueError(
-                f"width {w} must be in [1, n_ranks={self.n_ranks}]"
-            )
-        if self.n_ranks % w != 0:
-            valid = [d for d in range(1, self.n_ranks + 1) if self.n_ranks % d == 0]
-            raise ValueError(
-                f"width {w} must divide the number of ranks {self.n_ranks} "
-                f"(every replica group must be complete); valid widths: {valid}"
-            )
         # Lazy import: repro.dataplane registers the built-in transports on
         # first import, and core must stay importable without it cycling.
         from ..dataplane import available_frameworks
@@ -75,6 +75,142 @@ class DDStoreConfig:
                 f"max_read_bytes must be positive, got {self.max_read_bytes}"
             )
 
+
+@dataclass(frozen=True)
+class ResilienceOptions:
+    """How a fetch behaves when a replica-group peer is slow or dark.
+
+    ``timeout_s=None`` (the default) disables the whole subsystem and
+    preserves seed fetch behaviour bit-for-bit.  With a timeout set, a
+    wire read that has not completed within ``timeout_s`` virtual seconds
+    of being issued is abandoned and retried after exponential backoff
+    (``backoff_s * backoff_factor**k``).  With ``failover=True`` each
+    retry re-routes the read to the same chunk's owner in the next
+    replica group (width permitting); the final permitted attempt always
+    runs without a timeout so a degraded-but-alive peer cannot stall a
+    read forever.
+    """
+
+    timeout_s: Optional[float] = None
+    max_retries: int = 2
+    backoff_s: float = 1e-4
+    backoff_factor: float = 2.0
+    failover: bool = True
+
+    def __post_init__(self) -> None:
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive, got {self.timeout_s}")
+        if self.max_retries < 1:
+            raise ValueError(
+                f"max_retries must be >= 1 (the final attempt runs without "
+                f"a timeout), got {self.max_retries}"
+            )
+        if self.backoff_s < 0:
+            raise ValueError(f"backoff_s must be >= 0, got {self.backoff_s}")
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+
+    @property
+    def enabled(self) -> bool:
+        return self.timeout_s is not None
+
+    def backoff_delay(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based): exponential, capped
+        at 16 doublings so virtual time cannot overflow."""
+        return self.backoff_s * self.backoff_factor ** min(max(attempt - 1, 0), 16)
+
+
+@dataclass(frozen=True, init=False)
+class DDStoreConfig:
+    """Validated DDStore parameters for a given job size.
+
+    ``width=None`` means the paper default ``w = N`` (single replica
+    striped over all ranks).  Data-plane and resilience knobs live in the
+    nested :class:`DataPlaneOptions` / :class:`ResilienceOptions` groups;
+    the old flat keywords are accepted with a :class:`DeprecationWarning`.
+    """
+
+    n_ranks: int
+    width: Optional[int] = None
+    dataplane: DataPlaneOptions = field(default_factory=DataPlaneOptions)
+    resilience: ResilienceOptions = field(default_factory=ResilienceOptions)
+
+    def __init__(
+        self,
+        n_ranks: int,
+        width: Optional[int] = None,
+        dataplane: Optional[DataPlaneOptions] = None,
+        resilience: Optional[ResilienceOptions] = None,
+        **flat,
+    ) -> None:
+        unknown = [k for k in flat if k not in _FLAT_DATAPLANE + _FLAT_RESILIENCE]
+        if unknown:
+            raise TypeError(
+                f"DDStoreConfig got unexpected keyword(s) {sorted(unknown)}"
+            )
+        if flat:
+            warnings.warn(
+                f"flat DDStoreConfig keyword(s) {sorted(flat)} are deprecated; "
+                "pass dataplane=DataPlaneOptions(...) / "
+                "resilience=ResilienceOptions(...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            dp_flat = {k: v for k, v in flat.items() if k in _FLAT_DATAPLANE}
+            rs_flat = {k: v for k, v in flat.items() if k in _FLAT_RESILIENCE}
+            dataplane = replace(dataplane or DataPlaneOptions(), **dp_flat)
+            resilience = replace(resilience or ResilienceOptions(), **rs_flat)
+        object.__setattr__(self, "n_ranks", n_ranks)
+        object.__setattr__(self, "width", width)
+        object.__setattr__(self, "dataplane", dataplane or DataPlaneOptions())
+        object.__setattr__(self, "resilience", resilience or ResilienceOptions())
+        self._validate()
+
+    def _validate(self) -> None:
+        if self.n_ranks < 1:
+            raise ValueError("n_ranks must be positive")
+        w = self.effective_width
+        if w < 1 or w > self.n_ranks:
+            raise ValueError(
+                f"width {w} must be in [1, n_ranks={self.n_ranks}]"
+            )
+        if self.n_ranks % w != 0:
+            valid = [d for d in range(1, self.n_ranks + 1) if self.n_ranks % d == 0]
+            raise ValueError(
+                f"width {w} must divide the number of ranks {self.n_ranks} "
+                f"(every replica group must be complete); valid widths: {valid}"
+            )
+        if not isinstance(self.dataplane, DataPlaneOptions):
+            raise TypeError(
+                f"dataplane must be DataPlaneOptions, got {type(self.dataplane)!r}"
+            )
+        if not isinstance(self.resilience, ResilienceOptions):
+            raise TypeError(
+                f"resilience must be ResilienceOptions, got {type(self.resilience)!r}"
+            )
+        # failover=True with a single replica degrades to plain retry:
+        # "width permitting" is part of the ResilienceOptions contract.
+
+    # -- flat back-compat views (read-only) --------------------------------
+    @property
+    def framework(self) -> str:
+        return self.dataplane.framework
+
+    @property
+    def coalesce(self) -> bool:
+        return self.dataplane.coalesce
+
+    @property
+    def max_read_bytes(self) -> Optional[int]:
+        return self.dataplane.max_read_bytes
+
+    @property
+    def cache_bytes(self) -> int:
+        return self.dataplane.cache_bytes
+
+    # -- derived quantities -------------------------------------------------
     @property
     def effective_width(self) -> int:
         return self.n_ranks if self.width is None else self.width

@@ -87,6 +87,14 @@ class ChunkRegistry:
     def buffer_bytes(self, group_rank: int) -> int:
         return int(self.offsets[group_rank][-1])
 
+    def max_sample_bytes(self) -> int:
+        """Size of the largest packed sample in the replica group."""
+        largest = 0
+        for table in self.offsets:
+            if table.size > 1:
+                largest = max(largest, int(np.diff(table).max()))
+        return largest
+
     @property
     def total_bytes(self) -> int:
         return sum(int(t[-1]) for t in self.offsets)

@@ -17,8 +17,13 @@ global ids up in the registry, copy local ones straight out of the own
 buffer, serve repeat remote ids from the optional hot-sample cache, and
 hand the rest to the :class:`~repro.dataplane.FetchPlanner`, which groups
 them by owner and coalesces adjacent byte ranges into the wire reads the
-transport executes — never touching the filesystem and never leaving the
-replica group.
+transport executes — never touching the filesystem.  Reads normally stay
+inside the replica group; with :class:`~.config.ResilienceOptions`
+enabled, a read that times out is retried with exponential backoff
+(:mod:`repro.dataplane.retry`) and — since chunk contents are identical
+across replica groups — can *fail over* to the same chunk's owner in
+another group, so one straggling or dark peer degrades throughput instead
+of stalling every consumer.
 
 The store itself holds *no* communication code: transports live in
 :mod:`repro.dataplane` and anything registered there is a valid
@@ -32,20 +37,32 @@ from typing import Generator, Optional, Sequence
 
 import numpy as np
 
-from ..dataplane import FetchPlanner, PlannedRead, SampleCache, get_transport
+from ..dataplane import (
+    FetchPlanner,
+    PlannedRead,
+    RetryPolicy,
+    SampleCache,
+    fetch_with_retry,
+    get_transport,
+)
 from ..dataplane.transport import Transport
 from ..graphs import AtomicGraph
 from ..mpi import Comm
 from ..storage import SampleStats, decode_time, unpack_graph
 from .chunking import ChunkLayout
-from .config import DDStoreConfig
+from .config import DataPlaneOptions, DDStoreConfig, ResilienceOptions
 from .preloader import DataSource
 from .registry import ChunkRegistry
 
-__all__ = ["DDStore", "FetchStats", "FETCH_STAGES"]
+__all__ = ["DDStore", "FetchStats", "FETCH_STAGES", "StoreClosedError"]
 
-#: The instrumented stages of one ``get_samples`` call, in pipeline order.
-FETCH_STAGES = ("plan", "lock", "get", "copy", "cache", "decode")
+#: The instrumented stages of one ``get_samples`` call, in pipeline order
+#: ("retry" charges the backoff waits between fetch re-issues).
+FETCH_STAGES = ("plan", "lock", "get", "retry", "copy", "cache", "decode")
+
+
+class StoreClosedError(RuntimeError):
+    """Raised when a closed/shut-down DDStore handle is asked for samples."""
 
 # Modelled CPU cost of building a fetch plan (numpy sort + merge sweep).
 _PLAN_BASE_S = 1.0e-6
@@ -70,6 +87,10 @@ class FetchStats:
     n_cache_misses: int = 0
     n_cache_evictions: int = 0
     bytes_cache_hits: int = 0
+    # resilience counters (all zero unless ResilienceOptions are enabled)
+    n_timeouts: int = 0  # wire reads that blew their deadline
+    n_retries: int = 0  # wire reads re-issued after a timeout
+    n_failovers: int = 0  # retries re-routed to another replica group
     # virtual seconds spent per fetch stage (keys from FETCH_STAGES)
     stage_seconds: dict[str, float] = field(default_factory=dict)
 
@@ -94,6 +115,9 @@ class FetchStats:
             n_cache_misses=self.n_cache_misses,
             n_cache_evictions=self.n_cache_evictions,
             bytes_cache_hits=self.bytes_cache_hits,
+            n_timeouts=self.n_timeouts,
+            n_retries=self.n_retries,
+            n_failovers=self.n_failovers,
         )
 
     def latency_array(self) -> np.ndarray:
@@ -135,6 +159,12 @@ class DDStore:
         self._machine = machine
         self._local_copy_base = machine.intra_node_latency_s
         self._local_copy_bw = machine.intra_node_bandwidth_Bps
+        # The transport is wired over the whole job (a dup of ``comm``), so
+        # plan targets are comm ranks: group rank + this group's base.
+        self._my_group = config.group_of_rank(comm.rank)
+        self._group_base = self._my_group * config.effective_width
+        self._failover_order: dict[int, list[int]] = {}
+        self._closed = False
 
     # ------------------------------------------------------------------
     # construction
@@ -146,26 +176,27 @@ class DDStore:
         source: DataSource,
         *,
         width: Optional[int] = None,
-        framework: str = "mpi-rma",
-        cache_bytes: int = 0,
-        coalesce: bool = True,
-        max_read_bytes: Optional[int] = None,
+        dataplane: Optional[DataPlaneOptions] = None,
+        resilience: Optional[ResilienceOptions] = None,
         record_latencies: bool = False,
+        **flat,
     ) -> Generator:
         """Collectively build the store over ``comm`` (all ranks call this).
 
         ``source`` supplies the packed samples (a preloader plugin).
-        ``framework`` may be any transport registered with
-        :func:`repro.dataplane.register_transport`.  Returns this rank's
-        :class:`DDStore` handle.
+        Data-plane tuning (framework, coalescing, cache) comes in through
+        ``dataplane`` and fault handling (timeout/retry/failover) through
+        ``resilience`` — see :class:`~.config.DataPlaneOptions` and
+        :class:`~.config.ResilienceOptions`.  Flat keywords of the old API
+        (``framework=``, ``cache_bytes=``, ...) are still accepted with a
+        :class:`DeprecationWarning`.  Returns this rank's :class:`DDStore`.
         """
         config = DDStoreConfig(
             comm.size,
             width=width,
-            framework=framework,
-            cache_bytes=cache_bytes,
-            coalesce=coalesce,
-            max_read_bytes=max_read_bytes,
+            dataplane=dataplane,
+            resilience=resilience,
+            **flat,
         )
         group_comm = yield from comm.split(
             color=config.group_of_rank(comm.rank), key=comm.rank
@@ -186,11 +217,24 @@ class DDStore:
         # Exchange size tables and build the replicated registry.
         sizes_all = yield from group_comm.allgather(result.sizes)
         registry = ChunkRegistry.from_sample_sizes(layout, sizes_all)
+        largest = registry.max_sample_bytes()
+        if config.max_read_bytes is not None and config.max_read_bytes < largest:
+            raise ValueError(
+                f"dataplane.max_read_bytes={config.max_read_bytes} is smaller "
+                f"than the largest packed sample in this dataset ({largest} "
+                f"bytes); every read of that sample would degenerate into "
+                f"max-size fragments. Raise max_read_bytes to at least "
+                f"{largest} (or leave it None for unbounded reads)."
+            )
 
-        # Wire the replica group's data plane.
+        # Wire the data plane over the whole job (a private dup of ``comm``,
+        # so concurrent stores never cross-match traffic).  Chunk contents
+        # are identical across replica groups, which is what lets a timed-out
+        # read fail over to rank ``group * width + owner`` of another group.
+        plane_comm = yield from comm.dup()
         transport_cls = get_transport(config.framework)
         transport = yield from transport_cls.setup(
-            group_comm, result.buffer, record_latencies=record_latencies
+            plane_comm, result.buffer, record_latencies=record_latencies
         )
         store = cls(
             comm=comm,
@@ -257,6 +301,11 @@ class DDStore:
         performance sweeps), or raw packed ``np.uint8`` payloads when
         ``decode="raw"`` (no deserialisation charged; the resharding path).
         """
+        if self._closed:
+            raise StoreClosedError(
+                "this DDStore handle has been closed/shut down; create a new "
+                "store (or reshard) before fetching samples"
+            )
         idx = np.asarray(list(indices), dtype=np.int64)
         if idx.size == 0:
             return []
@@ -311,7 +360,7 @@ class DDStore:
         plan = None
         if fetch_positions.size:
             plan = self.planner.plan(
-                owners[fetch_positions],
+                owners[fetch_positions] + self._group_base,
                 offsets[fetch_positions],
                 sizes[fetch_positions],
                 positions=fetch_positions,
@@ -319,9 +368,27 @@ class DDStore:
             plan_s = _PLAN_BASE_S + _PLAN_S_PER_REQ * int(fetch_positions.size)
             yield engine.timeout(plan_s)
             stats.add_stage("plan", plan_s)
-            outcome = yield from self.transport.fetch(
-                plan.reads, n_streams=max(1, n_workers)
-            )
+            res = self.config.resilience
+            if res.enabled:
+                reroute = (
+                    self._reroute if res.failover and self.n_replicas > 1 else None
+                )
+                retry_out = yield from fetch_with_retry(
+                    self.transport,
+                    plan.reads,
+                    policy=RetryPolicy.from_options(res),
+                    engine=engine,
+                    n_streams=max(1, n_workers),
+                    reroute=reroute,
+                )
+                outcome = retry_out.outcome
+                stats.n_timeouts += retry_out.n_timeouts
+                stats.n_retries += retry_out.n_retries
+                stats.n_failovers += retry_out.n_failovers
+            else:
+                outcome = yield from self.transport.fetch(
+                    plan.reads, n_streams=max(1, n_workers)
+                )
             self._scatter(plan, outcome, blobs, latencies)
             for stage, seconds in outcome.stage_seconds.items():
                 stats.add_stage(stage, seconds)
@@ -400,18 +467,84 @@ class DDStore:
                     blobs[p][sl.sample_offset : sl.sample_offset + sl.nbytes] = piece
                 latencies[p] = max(latencies[p], lat)
 
+    def _reroute(self, read: PlannedRead, attempt: int) -> Optional[int]:
+        """Failover target for a timed-out read: the same chunk's owner in
+        another replica group, nearest first.
+
+        Returns ``None`` when there is nowhere else to go (single replica).
+        Chunk layouts and contents are identical across replica groups, so
+        the rerouted read returns byte-identical payloads.
+        """
+        if self.n_replicas < 2:
+            return None
+        ranks = self._failover_ranks(read.target % self.width)
+        return ranks[(attempt - 1) % len(ranks)]
+
+    def _failover_ranks(self, member: int) -> list[int]:
+        """Owners of replica-group member ``member``'s window outside this
+        rank's own group, ordered nearest first: same-node owners (the
+        shared-memory get path is ~7x cheaper than a cross-node one, the
+        same locality Table 3's width sweep exploits), then by ring
+        distance from this rank's group.  Deterministic for a fixed layout.
+        """
+        cached = self._failover_order.get(member)
+        if cached is not None:
+            return cached
+        c = self.comm.communicator
+        machine = c.world.machine
+        my_node = machine.node_of_rank(c.world_rank(self.comm.rank))
+        w, r = self.width, self.n_replicas
+
+        def distance(group: int) -> tuple[int, int]:
+            owner_node = machine.node_of_rank(c.world_rank(group * w + member))
+            return (0 if owner_node == my_node else 1, (group - self._my_group) % r)
+
+        groups = sorted((g for g in range(r) if g != self._my_group), key=distance)
+        ranks = [g * w + member for g in groups]
+        self._failover_order[member] = ranks
+        return ranks
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     def shutdown(self) -> Generator:
-        """Collectively stop the data plane's service machinery."""
+        """Collectively stop the data plane's service machinery.
+
+        All ranks must call this together (it barriers).  The handle is
+        closed afterwards: further ``get_samples`` calls raise
+        :class:`StoreClosedError`.
+        """
         yield from self.transport.shutdown()
         yield from self.comm.barrier()
+        self.close()
 
     def close(self) -> None:
-        """Release this rank's DRAM accounting (call after resharding)."""
+        """Release this rank's DRAM accounting and mark the handle closed.
+
+        Idempotent and rank-local (no communication) — safe from
+        ``__exit__``.  Transports with target-side service machinery (p2p)
+        additionally need the collective :meth:`shutdown` first.
+        """
+        if self._closed:
+            return
+        self._closed = True
         charged = getattr(self, "_charged_bytes", 0)
         node = getattr(self, "_node_index", None)
         if charged and node is not None:
             self.comm.communicator.world.cluster.release_memory(node, charged)
             self._charged_bytes = 0
+
+    def __enter__(self) -> "DDStore":
+        if self._closed:
+            raise StoreClosedError("cannot enter a closed DDStore")
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # elastic re-sharding
@@ -432,10 +565,8 @@ class DDStore:
             self.comm,
             source,
             width=width,
-            framework=self.config.framework,
-            cache_bytes=self.config.cache_bytes,
-            coalesce=self.config.coalesce,
-            max_read_bytes=self.config.max_read_bytes,
+            dataplane=self.config.dataplane,
+            resilience=self.config.resilience,
             record_latencies=self.record_latencies,
         )
         if close_old:
@@ -490,6 +621,7 @@ class _StoreSource:
             sizes_parts.append(np.diff(table[s_lo - c_lo : s_hi - c_lo + 1]))
         me = store.group_comm.rank
         local_parts = []
+        remote_owners = []
         remote_reads = []
         for owner, off, nb in requests:
             if owner == me:
@@ -497,13 +629,19 @@ class _StoreSource:
                     (owner, store.transport.local_buffer()[off : off + nb].copy())
                 )
             else:
+                remote_owners.append(owner)
                 remote_reads.append(
-                    PlannedRead(target=owner, offset=off, nbytes=nb, slices=())
+                    PlannedRead(
+                        target=owner + store._group_base,
+                        offset=off,
+                        nbytes=nb,
+                        slices=(),
+                    )
                 )
         outcome = yield from store.transport.fetch(remote_reads)
         by_owner = dict(local_parts)
         by_owner.update(
-            {r.target: p for r, p in zip(remote_reads, outcome.payloads)}
+            {o: p for o, p in zip(remote_owners, outcome.payloads)}
         )
         buffer = (
             np.concatenate([by_owner[r[0]] for r in requests])

@@ -25,6 +25,7 @@ from .registry import (
     register_transport,
     unregister_transport,
 )
+from .retry import FetchTimeoutError, RetryOutcome, RetryPolicy, fetch_with_retry
 from .transport import FetchOutcome, P2PTransport, RmaTransport, Transport
 
 __all__ = [
@@ -38,6 +39,10 @@ __all__ = [
     "ReadSlice",
     "SampleCache",
     "CacheStats",
+    "RetryPolicy",
+    "RetryOutcome",
+    "FetchTimeoutError",
+    "fetch_with_retry",
     "register_transport",
     "unregister_transport",
     "get_transport",

@@ -1,9 +1,10 @@
 """Transport registry: ``framework`` config values -> Transport classes.
 
 The store never names a transport class; it resolves
-``DDStoreConfig.framework`` here.  Third-party backends plug in without
-touching core code::
+``DDStoreConfig.dataplane.framework`` here.  Third-party backends plug in
+without touching core code::
 
+    from repro.core import DataPlaneOptions
     from repro.dataplane import Transport, register_transport
 
     @register_transport
@@ -11,7 +12,9 @@ touching core code::
         name = "my-fabric"
         ...
 
-    store = yield from DDStore.create(comm, source, framework="my-fabric")
+    store = yield from DDStore.create(
+        comm, source, dataplane=DataPlaneOptions(framework="my-fabric")
+    )
 """
 
 from __future__ import annotations

@@ -1,0 +1,185 @@
+"""Fetch retry: timeouts, exponential backoff, and read re-routing.
+
+DDStore's fetch path assumes every replica-group peer answers promptly —
+one straggling or dark rank stalls every peer that routes a read to it.
+This module wraps any :class:`~.transport.Transport` with a deterministic
+retry ladder:
+
+1. issue the batch with a per-read virtual-time timeout,
+2. reads that blow the deadline wait out an exponential backoff
+   (``backoff_s * backoff_factor**k`` — no jitter, so reruns are
+   bit-identical) and are re-issued,
+3. an optional ``reroute`` hook re-targets each retried read before it is
+   re-issued — :class:`~repro.core.store.DDStore` uses it to fail a read
+   over to the same chunk's owner in another replica group,
+4. the final permitted attempt runs without a timeout, so a slow-but-alive
+   peer degrades throughput instead of failing the batch.
+
+Every attempt, timeout, and failover is counted in the returned
+:class:`RetryOutcome` for :class:`~repro.core.store.FetchStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Generator, Optional, Sequence
+
+import numpy as np
+
+from .planner import PlannedRead
+from .transport import FetchOutcome, Transport
+
+__all__ = ["FetchTimeoutError", "RetryPolicy", "RetryOutcome", "fetch_with_retry"]
+
+
+class FetchTimeoutError(RuntimeError):
+    """A read could not be completed within the configured retry budget."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deterministic retry schedule for one fetch batch."""
+
+    timeout_s: float
+    max_retries: int = 2
+    backoff_s: float = 1e-4
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive, got {self.timeout_s}")
+        if self.max_retries < 1:
+            raise ValueError(f"max_retries must be >= 1, got {self.max_retries}")
+        if self.backoff_s < 0:
+            raise ValueError(f"backoff_s must be >= 0, got {self.backoff_s}")
+        if self.backoff_factor < 1.0:
+            raise ValueError(f"backoff_factor must be >= 1, got {self.backoff_factor}")
+
+    @classmethod
+    def from_options(cls, options) -> "RetryPolicy":
+        """Build from a :class:`~repro.core.config.ResilienceOptions`."""
+        if options.timeout_s is None:
+            raise ValueError("ResilienceOptions.timeout_s is None (resilience off)")
+        return cls(
+            timeout_s=options.timeout_s,
+            max_retries=options.max_retries,
+            backoff_s=options.backoff_s,
+            backoff_factor=options.backoff_factor,
+        )
+
+    def backoff(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based): exponential, capped
+        at 16 doublings so virtual time cannot overflow."""
+        return self.backoff_s * self.backoff_factor ** min(max(attempt - 1, 0), 16)
+
+
+@dataclass
+class RetryOutcome:
+    """A merged :class:`FetchOutcome` plus the retry ladder's accounting."""
+
+    outcome: FetchOutcome
+    n_timeouts: int = 0  # individual read timeouts observed (all attempts)
+    n_retries: int = 0  # read re-issues (a read retried twice counts twice)
+    n_failovers: int = 0  # retries that were re-routed to another replica
+    attempts: int = 1  # transport.fetch round trips issued
+    retry_targets: dict = field(default_factory=dict)  # read index -> final target
+
+
+def fetch_with_retry(
+    transport: Transport,
+    reads: Sequence[PlannedRead],
+    *,
+    policy: RetryPolicy,
+    engine,
+    n_streams: int = 1,
+    reroute: Optional[Callable[[PlannedRead, int], Optional[int]]] = None,
+) -> Generator:
+    """Execute ``reads`` through ``transport`` under ``policy``.
+
+    Coroutine; returns a :class:`RetryOutcome` whose ``outcome`` has one
+    payload per input read, in input order.  ``reroute(read, attempt)``
+    (attempt is 1-based) may return a replacement target rank for a read
+    being retried, or ``None`` to keep its current target.
+    """
+    reads = list(reads)
+    n = len(reads)
+    result = RetryOutcome(
+        outcome=FetchOutcome(
+            payloads=[None] * n,
+            latencies=np.zeros(n, dtype=np.float64),
+            stage_seconds={},
+        ),
+        attempts=0,
+    )
+    if n == 0:
+        result.attempts = 1
+        return result
+
+    merged = result.outcome
+    t_first = engine.now
+    pending: list[tuple[int, PlannedRead]] = list(enumerate(reads))
+    for attempt in range(policy.max_retries + 1):
+        if attempt > 0:
+            delay = policy.backoff(attempt)
+            if delay > 0:
+                yield engine.timeout(delay)
+                merged.stage_seconds["retry"] = (
+                    merged.stage_seconds.get("retry", 0.0) + delay
+                )
+        # The final permitted attempt runs unbounded: a degraded peer slows
+        # the batch down rather than failing it.
+        timeout = policy.timeout_s if attempt < policy.max_retries else None
+        batch = [read for _, read in pending]
+        if timeout is None:
+            outcome = yield from transport.fetch(batch, n_streams=n_streams)
+        else:
+            outcome = yield from transport.fetch(
+                batch, n_streams=n_streams, timeout_s=timeout
+            )
+        result.attempts += 1
+        for stage, seconds in outcome.stage_seconds.items():
+            merged.stage_seconds[stage] = (
+                merged.stage_seconds.get(stage, 0.0) + seconds
+            )
+        timed_out = outcome.timed_out
+        still_pending: list[tuple[int, PlannedRead]] = []
+        for slot, (orig, read) in enumerate(pending):
+            if timed_out is not None and timed_out[slot]:
+                still_pending.append((orig, read))
+                continue
+            merged.payloads[orig] = outcome.payloads[slot]
+            if attempt == 0 and outcome.latencies is not None:
+                merged.latencies[orig] = float(outcome.latencies[slot])
+            else:
+                # A retried read's observed latency is everything since the
+                # batch was first issued — the tail the resilience knobs
+                # exist to cut.
+                merged.latencies[orig] = engine.now - t_first
+        if not still_pending:
+            pending = []
+            break
+        result.n_timeouts += len(still_pending)
+        if attempt >= policy.max_retries:
+            pending = still_pending
+            break
+        result.n_retries += len(still_pending)
+        if reroute is not None:
+            rerouted = []
+            for orig, read in still_pending:
+                new_target = reroute(read, attempt + 1)
+                if new_target is not None and new_target != read.target:
+                    read = replace(read, target=new_target)
+                    result.n_failovers += 1
+                    result.retry_targets[orig] = new_target
+                rerouted.append((orig, read))
+            still_pending = rerouted
+        pending = still_pending
+
+    if pending:
+        # Unreachable through DDStore (the last attempt is unbounded), but a
+        # third-party transport could report timeouts without one.
+        raise FetchTimeoutError(
+            f"{len(pending)} read(s) still incomplete after "
+            f"{policy.max_retries + 1} attempts (timeout_s={policy.timeout_s})"
+        )
+    return result

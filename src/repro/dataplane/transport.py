@@ -32,9 +32,10 @@ _P2P_POLL_WINDOW_S = 1.0e-3  # how long a busy target takes to notice a request
 class FetchOutcome:
     """What a transport hands back for one batch of planned reads."""
 
-    payloads: list  # one np.uint8 array per read, in read order
+    payloads: list  # one np.uint8 array per read, in read order (None = timed out)
     latencies: Optional[np.ndarray] = None  # per-read seconds, when known
     stage_seconds: dict[str, float] = field(default_factory=dict)  # e.g. lock/get
+    timed_out: Optional[np.ndarray] = None  # per-read bool mask (None = no timeout)
 
 
 class Transport(abc.ABC):
@@ -64,8 +65,22 @@ class Transport(abc.ABC):
         """
 
     @abc.abstractmethod
-    def fetch(self, reads: Sequence[PlannedRead], n_streams: int = 1) -> Generator:
-        """Coroutine executing remote reads; returns a :class:`FetchOutcome`."""
+    def fetch(
+        self,
+        reads: Sequence[PlannedRead],
+        n_streams: int = 1,
+        timeout_s: Optional[float] = None,
+    ) -> Generator:
+        """Coroutine executing remote reads; returns a :class:`FetchOutcome`.
+
+        ``timeout_s`` (when the transport honours it) bounds each read's
+        wait: reads still incomplete after that many virtual seconds come
+        back with a ``None`` payload and their ``timed_out`` flag set, so
+        the retry layer (:mod:`.retry`) can re-issue or fail them over.
+        The retry layer only passes ``timeout_s`` when resilience is
+        enabled, so transports with the pre-resilience two-argument
+        signature keep working in the default configuration.
+        """
 
     @abc.abstractmethod
     def local_buffer(self) -> np.ndarray:
@@ -98,7 +113,12 @@ class RmaTransport(Transport):
     def local_buffer(self) -> np.ndarray:
         return self.win.local
 
-    def fetch(self, reads: Sequence[PlannedRead], n_streams: int = 1) -> Generator:
+    def fetch(
+        self,
+        reads: Sequence[PlannedRead],
+        n_streams: int = 1,
+        timeout_s: Optional[float] = None,
+    ) -> Generator:
         if not reads:
             return FetchOutcome(payloads=[])
         win = self.win
@@ -108,15 +128,19 @@ class RmaTransport(Transport):
         for t in targets:
             yield from win.lock(t, LOCK_SHARED)
         t_locked = engine.now
-        payloads = yield from win.get_batch([r.request for r in reads], n_streams=n_streams)
+        payloads = yield from win.get_batch(
+            [r.request for r in reads], n_streams=n_streams, timeout_s=timeout_s
+        )
         t_got = engine.now
         latencies = win.last_latencies
+        timed_out = win.last_timeouts
         for t in targets:
             yield from win.unlock(t)
         return FetchOutcome(
             payloads=payloads,
             latencies=latencies,
             stage_seconds={"lock": t_locked - t0, "get": t_got - t_locked},
+            timed_out=timed_out,
         )
 
 
@@ -151,7 +175,12 @@ class P2PTransport(Transport):
     def local_buffer(self) -> np.ndarray:
         return self._buffer
 
-    def fetch(self, reads: Sequence[PlannedRead], n_streams: int = 1) -> Generator:
+    def fetch(
+        self,
+        reads: Sequence[PlannedRead],
+        n_streams: int = 1,
+        timeout_s: Optional[float] = None,
+    ) -> Generator:
         if not reads:
             return FetchOutcome(payloads=[])
         comm = self.group_comm
@@ -164,13 +193,28 @@ class P2PTransport(Transport):
             req = (r.offset, r.nbytes, reply_tag, comm.rank)
             yield from comm.send(req, dest=r.target, tag=_TAG_FETCH_REQ)
             reply_reqs.append(comm.irecv(source=r.target, tag=reply_tag))
-        payloads = yield from waitall(reply_reqs)
+        if timeout_s is None:
+            payloads = yield from waitall(reply_reqs)
+            timed_out = None
+        else:
+            # Wait for all replies or the deadline, whichever first.  Reply
+            # tags are unique per request, so a stale reply to an abandoned
+            # request just satisfies its orphaned irecv — no cross-talk
+            # with the retry's fresh requests.
+            yield engine.any_of([engine.all_of(reply_reqs), engine.timeout(timeout_s)])
+            timed_out = np.fromiter(
+                (not req.triggered for req in reply_reqs), dtype=bool, count=len(reads)
+            )
+            payloads = [
+                req.value if req.triggered else None for req in reply_reqs
+            ]
         done = engine.now
         latencies = np.full(len(reads), (done - issue) / max(len(reads), 1))
         return FetchOutcome(
             payloads=list(payloads),
             latencies=latencies,
             stage_seconds={"get": done - issue},
+            timed_out=timed_out,
         )
 
     def _respond_loop(self) -> Generator:

@@ -1,0 +1,39 @@
+"""Fault injection: deterministic straggler/blackout/PFS-storm schedules.
+
+Every DDStore rank doubles as a storage server, so rank-level slowness is
+a data-path fault: one straggler stalls every replica-group peer routing
+fetches to it.  This package lets any experiment run under a named,
+RNG-stream-driven :class:`FaultPlan` — and the resilience knobs in
+:class:`~repro.core.config.ResilienceOptions` (timeout / retry / replica
+failover) are what recovers the lost throughput.
+
+Usage::
+
+    plan = build_fault_plan("straggler-10x", n_ranks=8, seed=0)
+    install_faults(world, plan)   # before spawning the rank processes
+"""
+
+from .injector import RankFaultModel, install_faults
+from .plan import (
+    FAULT_PLANS,
+    Blackout,
+    FaultPlan,
+    PfsStorm,
+    SlowRank,
+    available_fault_plans,
+    build_fault_plan,
+    fault_plan_builder,
+)
+
+__all__ = [
+    "SlowRank",
+    "Blackout",
+    "PfsStorm",
+    "FaultPlan",
+    "FAULT_PLANS",
+    "fault_plan_builder",
+    "build_fault_plan",
+    "available_fault_plans",
+    "RankFaultModel",
+    "install_faults",
+]

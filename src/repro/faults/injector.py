@@ -1,0 +1,155 @@
+"""Fault injection: wire a :class:`~.plan.FaultPlan` into a simulated world.
+
+:func:`install_faults` does two things:
+
+* attaches a :class:`RankFaultModel` to the world's interconnect
+  (``world.net.faults``) — every subsequent RMA get batch and two-sided
+  message consults it, so stragglers and blackouts perturb the data plane
+  without the transports knowing anything about faults,
+* schedules each :class:`~.plan.PfsStorm` on the engine: at the storm's
+  start time, competing metadata opens are injected into the PFS MDS pool
+  at a steady rate over the storm window (each op issued at its own fire
+  time so the queue stations see chronological arrivals).
+
+Perturbation semantics (vectorised, applied per message by *target* rank
+for RMA gets and by both endpoints for two-sided sends):
+
+* ``SlowRank``: the whole observed latency is scaled —
+  ``completion' = start + (completion - start) * multiplier`` — because a
+  degraded peer slows its software path, NIC, and memory system alike,
+* ``Blackout``: service is deferred past the outage —
+  ``completion' = max(completion, end_s + (completion - start))``.
+
+Only messages whose *start* falls inside an event's window are affected,
+which keeps the model simple and monotone (a later start never finishes
+earlier than an earlier one at the same target).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from .plan import Blackout, FaultPlan, PfsStorm, SlowRank
+
+__all__ = ["RankFaultModel", "install_faults"]
+
+
+class RankFaultModel:
+    """Vectorised per-rank latency perturbation for a set of fault events."""
+
+    def __init__(self, events: Iterable) -> None:
+        self.slow: list[SlowRank] = []
+        self.blackouts: list[Blackout] = []
+        for ev in events:
+            if isinstance(ev, SlowRank):
+                self.slow.append(ev)
+            elif isinstance(ev, Blackout):
+                self.blackouts.append(ev)
+            elif not isinstance(ev, PfsStorm):
+                raise TypeError(f"unknown fault event {ev!r}")
+        self._faulty = np.asarray(
+            sorted({e.rank for e in self.slow} | {e.rank for e in self.blackouts}),
+            dtype=np.int64,
+        )
+        self.n_perturbed = 0  # messages this model has slowed down
+
+    def apply_batch(
+        self,
+        target_ranks: np.ndarray,
+        starts: np.ndarray,
+        completions: np.ndarray,
+    ) -> np.ndarray:
+        """Perturb a batch of per-message completion times in place-safely.
+
+        ``target_ranks`` are world ranks; ``starts``/``completions`` are the
+        healthy-model times.  Returns the perturbed completions.
+        """
+        if self._faulty.size == 0:
+            return completions
+        target_ranks = np.asarray(target_ranks, dtype=np.int64)
+        if not np.isin(target_ranks, self._faulty).any():
+            return completions
+        out = np.array(completions, dtype=np.float64, copy=True)
+        for ev in self.slow:
+            mask = (
+                (target_ranks == ev.rank)
+                & (starts >= ev.start_s)
+                & (starts < ev.end_s)
+            )
+            if mask.any():
+                out[mask] = starts[mask] + (out[mask] - starts[mask]) * ev.multiplier
+                self.n_perturbed += int(mask.sum())
+        for ev in self.blackouts:
+            mask = (
+                (target_ranks == ev.rank)
+                & (starts >= ev.start_s)
+                & (starts < ev.end_s)
+            )
+            if mask.any():
+                out[mask] = np.maximum(
+                    out[mask], ev.end_s + (out[mask] - starts[mask])
+                )
+                self.n_perturbed += int(mask.sum())
+        return out
+
+    def apply_message(
+        self, src_rank: int, dst_rank: int, start: float, completion: float
+    ) -> float:
+        """Perturb one two-sided message (either endpoint faulty slows it)."""
+        if self._faulty.size == 0:
+            return completion
+        ranks = np.array([src_rank, dst_rank], dtype=np.int64)
+        if not np.isin(ranks, self._faulty).any():
+            return completion
+        both = self.apply_batch(
+            ranks,
+            np.array([start, start]),
+            np.array([completion, completion]),
+        )
+        return float(both.max())
+
+
+def install_faults(world, plan: FaultPlan) -> RankFaultModel:
+    """Arm ``plan`` on a simulated world; returns the installed model.
+
+    Must be called before the rank processes start issuing traffic (the
+    bench harness calls it right after building the world).  Rank numbers
+    in the plan are world ranks.
+    """
+    n_ranks = world.n_ranks
+    for ev in plan.rank_events:
+        if not 0 <= ev.rank < n_ranks:
+            raise ValueError(
+                f"fault plan {plan.name!r} names rank {ev.rank}, but the "
+                f"world has only {n_ranks} ranks"
+            )
+    model = RankFaultModel(plan.events)
+    world.net.faults = model
+    for storm in plan.storms:
+        _schedule_storm(world, plan, storm)
+    return model
+
+
+def _schedule_storm(world, plan: FaultPlan, storm: PfsStorm) -> None:
+    """Emit the storm's metadata ops at a steady rate over its window.
+
+    Each op is scheduled as its own engine callback and issued with
+    ``arrival = now`` at fire time, because the MDS queue stations expect
+    chronological arrivals.
+    """
+    from ..sim import stream
+
+    engine = world.engine
+    pfs = world.pfs
+    rng = stream("faults", plan.name, "storm", storm.start_s)
+    spacing = storm.duration_s / storm.n_ops
+    hashes = rng.integers(0, 2**31 - 1, size=storm.n_ops)
+
+    for i in range(storm.n_ops):
+        delay = storm.start_s + i * spacing
+        path_hash = int(hashes[i])
+        engine.schedule_call(
+            delay, lambda h=path_hash: pfs.metadata_op(h, engine.now)
+        )

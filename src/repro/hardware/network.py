@@ -65,6 +65,9 @@ class Interconnect:
         self._rng = RngRegistry("interconnect", cluster.spec.name, seed)
         # Pre-computed lognormal correction so jitter has mean 1.0.
         self._jitter_mu = -0.5 * jitter_sigma**2
+        # Optional fault model (repro.faults): perturbs per-message timing
+        # for ranks declared slow or dark.  None = healthy cluster.
+        self.faults = None
 
     # -- basic costs -------------------------------------------------------
     def wire_time(self, nbytes: int | np.ndarray, intra_node: bool = False):
@@ -85,14 +88,17 @@ class Interconnect:
         """Completion time of a two-sided message posted at ``arrival``."""
         if self.cluster.same_node(src_rank, dst_rank):
             jit = float(self._jitter(src_rank, 1)[0])
-            return arrival + float(self.wire_time(nbytes, intra_node=True)) * jit
-        nic = self.spec.nic
-        src_node = self.cluster.node_of_rank(src_rank)
-        dst_node = self.cluster.node_of_rank(dst_rank)
-        service = nic.message_overhead_s + nbytes / nic.bandwidth_Bps
-        jit = self._jitter(src_rank, 2)
-        injected = src_node.nic_out.serve(arrival, service * float(jit[0]))
-        arrived = dst_node.nic_in.serve(injected + nic.latency_s, service * float(jit[1]))
+            arrived = arrival + float(self.wire_time(nbytes, intra_node=True)) * jit
+        else:
+            nic = self.spec.nic
+            src_node = self.cluster.node_of_rank(src_rank)
+            dst_node = self.cluster.node_of_rank(dst_rank)
+            service = nic.message_overhead_s + nbytes / nic.bandwidth_Bps
+            jit = self._jitter(src_rank, 2)
+            injected = src_node.nic_out.serve(arrival, service * float(jit[0]))
+            arrived = dst_node.nic_in.serve(injected + nic.latency_s, service * float(jit[1]))
+        if self.faults is not None:
+            arrived = self.faults.apply_message(src_rank, dst_rank, arrival, arrived)
         return arrived
 
     # -- one-sided RMA -----------------------------------------------------
@@ -189,6 +195,9 @@ class Interconnect:
                 )
                 done[k] = origin_in.serve(injected + nic.latency_s, float(service[k]))
             completions[remote_idx] = done
+
+        if self.faults is not None:
+            completions = self.faults.apply_batch(target_ranks, starts, completions)
 
         return RmaBatchTiming(issues=starts, completions=completions)
 

@@ -17,12 +17,12 @@ queueing included), performs the real memory copies, and yields once.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Generator, Optional, Sequence
 
 import numpy as np
 
-from ..sim import Event, RWLock
+from ..sim import RWLock
 from .comm import Comm, Communicator
 from .errors import RMAError
 
@@ -79,6 +79,9 @@ class WinHandle:
         # Per-request latencies of this handle's most recent get_batch
         # (rank-local; the shared window.get_log interleaves ranks).
         self.last_latencies: Optional[np.ndarray] = None
+        # Per-request timeout flags of the most recent get_batch (None when
+        # the batch ran without a timeout).
+        self.last_timeouts: Optional[np.ndarray] = None
 
     @property
     def engine(self):
@@ -135,7 +138,10 @@ class WinHandle:
         return out[0]
 
     def get_batch(
-        self, requests: Sequence[tuple[int, int, int]], n_streams: int = 1
+        self,
+        requests: Sequence[tuple[int, int, int]],
+        n_streams: int = 1,
+        timeout_s: Optional[float] = None,
     ) -> Generator:
         """Issue many gets back-to-back; wait for all (DDStore hot path).
 
@@ -143,8 +149,15 @@ class WinHandle:
         ``n_streams`` models concurrent issuing threads (loader workers).
         Returns the payloads in request order.  Per-request latencies are
         appended to the window's ``get_log`` when recording is enabled.
+
+        ``timeout_s`` bounds each get's observed latency: a get that has
+        not completed ``timeout_s`` virtual seconds after being issued is
+        abandoned — its payload slot comes back ``None`` and its flag in
+        ``last_timeouts`` is set.  The origin only waits for the
+        non-abandoned gets (plus the timeout window of abandoned ones).
         """
         if not requests:
+            self.last_timeouts = None
             return []
         comm = self.comm
         window = self.window
@@ -183,12 +196,26 @@ class WinHandle:
             comm.world_rank, world_targets, sizes.astype(np.float64), issued,
             n_streams=n_streams,
         )
-        finish = timing.finish
-        self.last_latencies = timing.latencies
+        completions = timing.completions
+        if timeout_s is None:
+            waited = completions
+            timed_out = None
+            self.last_timeouts = None
+        else:
+            # A get that blows its deadline is abandoned at issue+timeout:
+            # the origin stops waiting for it (the in-flight transfer still
+            # occupied the NICs — abandonment does not reclaim wire time).
+            deadlines = timing.issues + float(timeout_s)
+            timed_out = completions > deadlines
+            waited = np.minimum(completions, deadlines)
+            self.last_timeouts = timed_out
+            if timed_out.any():
+                for i in np.nonzero(timed_out)[0]:
+                    payloads[int(i)] = None
+        finish = float(waited.max()) if waited.size else 0.0
+        self.last_latencies = waited - timing.issues
         if window.record_gets:
-            for t, nb, iss, done in zip(
-                targets, sizes, timing.issues, timing.completions
-            ):
+            for t, nb, iss, done in zip(targets, sizes, timing.issues, waited):
                 window.get_log.append(
                     _GetRecord(
                         origin=comm.rank,

@@ -6,6 +6,7 @@ import pytest
 from repro.core import (
     ChunkLayout,
     ChunkRegistry,
+    DataPlaneOptions,
     DDStoreConfig,
     GlobalShuffleSampler,
     LocalShuffleSampler,
@@ -51,7 +52,7 @@ def test_config_width_bounds():
 
 def test_config_unknown_framework():
     with pytest.raises(ValueError, match="framework"):
-        DDStoreConfig(n_ranks=4, framework="smoke-signals")
+        DDStoreConfig(n_ranks=4, dataplane=DataPlaneOptions(framework="smoke-signals"))
 
 
 def test_config_rank_range_checks():

@@ -5,7 +5,7 @@ per-stage instrumentation)."""
 import numpy as np
 import pytest
 
-from repro.core import DDStore, DDStoreConfig, GeneratorSource
+from repro.core import DataPlaneOptions, DDStore, DDStoreConfig, GeneratorSource
 from repro.dataplane import (
     FetchPlanner,
     RmaTransport,
@@ -102,6 +102,40 @@ def test_planner_positions_label_slices():
     assert sorted(s.position for s in plan.reads[0].slices) == [3, 7]
 
 
+def test_planner_partially_overlapping_ranges_merge_once():
+    # Two samples sharing bytes [5, 10): the wire moves [0, 15) once and
+    # each sample scatters from its own offset within the merged read.
+    plan = FetchPlanner().plan(targets=[1, 1], offsets=[0, 5], sizes=[10, 10])
+    assert plan.n_reads == 1
+    assert plan.reads[0].request == (1, 0, 15)
+    assert plan.total_bytes == 15
+    slices = sorted(plan.reads[0].slices, key=lambda s: s.position)
+    assert [(s.read_offset, s.nbytes) for s in slices] == [(0, 10), (5, 10)]
+
+
+def test_planner_zero_length_blob():
+    # A zero-byte sample still gets a (degenerate) read so its position is
+    # accounted for, but moves nothing on the wire.
+    plan = FetchPlanner().plan(targets=[1], offsets=[0], sizes=[0])
+    assert plan.n_reads == 1
+    assert plan.reads[0].nbytes == 0
+    assert plan.total_bytes == 0
+    assert plan.reads[0].slices == ()
+
+
+def test_planner_sample_spanning_many_split_reads():
+    # One 19-byte sample under a 4-byte read cap: five wire reads whose
+    # scatter records tile the sample exactly.
+    plan = FetchPlanner(max_read_bytes=4).plan(targets=[0], offsets=[0], sizes=[19])
+    assert [r.nbytes for r in plan.reads] == [4, 4, 4, 4, 3]
+    covered = sorted(
+        (s.sample_offset, s.sample_offset + s.nbytes)
+        for r in plan.reads
+        for s in r.slices
+    )
+    assert covered == [(0, 4), (4, 8), (8, 12), (12, 16), (16, 19)]
+
+
 def test_planner_empty_and_validation():
     assert FetchPlanner().plan([], [], []).n_reads == 0
     with pytest.raises(ValueError, match="equal length"):
@@ -170,11 +204,11 @@ def test_registry_rejects_duplicate_and_unknown_names():
 
 def test_unknown_framework_error_mentions_framework():
     with pytest.raises(ValueError, match="framework"):
-        DDStoreConfig(4, framework="carrier-pigeon")
+        DDStoreConfig(4, dataplane=DataPlaneOptions(framework="carrier-pigeon"))
 
 
 def test_third_party_transport_pluggable_without_touching_store():
-    """A new transport registered in the test is usable via ``framework=``."""
+    """A transport registered in the test is usable via ``DataPlaneOptions``."""
 
     class TracingRma(RmaTransport):
         name = "tracing-rma"
@@ -189,9 +223,10 @@ def test_third_party_transport_pluggable_without_touching_store():
     try:
         def main(ctx):
             store = yield from DDStore.create(
-                ctx.comm, _source(ctx), framework="tracing-rma"
+                ctx.comm, _source(ctx),
+                dataplane=DataPlaneOptions(framework="tracing-rma"),
             )
-            assert store.config.framework == "tracing-rma"
+            assert store.config.dataplane.framework == "tracing-rma"
             lo, hi = store.local_range
             graphs = yield from store.get_samples([(hi + 1) % 32, lo])
             return [g.sample_id for g in graphs]
@@ -229,7 +264,8 @@ def test_coalescing_reduces_get_calls_for_contiguous_batch():
 
 
 def test_coalesce_off_matches_one_get_per_sample():
-    job = run(lambda c: _contiguous_remote_fetch(c, coalesce=False))
+    job = run(lambda c: _contiguous_remote_fetch(
+        c, dataplane=DataPlaneOptions(coalesce=False)))
     for stats, _ids in job.results:
         assert stats.n_get_calls == stats.n_remote == 8
 
@@ -237,7 +273,8 @@ def test_coalesce_off_matches_one_get_per_sample():
 def test_default_config_preserves_seed_counters():
     """Cache off + coalescing on must not change what was fetched."""
     on = run(lambda c: _contiguous_remote_fetch(c)).results
-    off = run(lambda c: _contiguous_remote_fetch(c, coalesce=False)).results
+    off = run(lambda c: _contiguous_remote_fetch(
+        c, dataplane=DataPlaneOptions(coalesce=False))).results
     for (s_on, ids_on), (s_off, ids_off) in zip(on, off):
         assert ids_on == ids_off
         assert s_on.n_local == s_off.n_local == 0
@@ -251,7 +288,9 @@ def test_coalesced_fetch_returns_identical_graphs():
     gen = IsingGenerator(32, seed=0)
 
     def main(ctx, coalesce):
-        store = yield from DDStore.create(ctx.comm, _source(ctx), coalesce=coalesce)
+        store = yield from DDStore.create(
+            ctx.comm, _source(ctx), dataplane=DataPlaneOptions(coalesce=coalesce)
+        )
         order = [31, 0, 16, 5, 5, 9, 10, 11]
         graphs = yield from store.get_samples(order)
         return graphs
@@ -268,7 +307,7 @@ def test_sample_cache_serves_repeat_fetches():
 
     def main(ctx):
         store = yield from DDStore.create(
-            ctx.comm, _source(ctx), cache_bytes=1 << 20
+            ctx.comm, _source(ctx), dataplane=DataPlaneOptions(cache_bytes=1 << 20)
         )
         lo, hi = store.local_range
         remote = [(hi + k) % 32 for k in range(8)]
@@ -304,8 +343,10 @@ def test_cache_disabled_takes_no_hits():
 
 def test_max_read_bytes_splits_wire_reads():
     def main(ctx):
+        # 8 KiB holds the largest Ising sample (~6.8 KiB) but not a merged
+        # 8-sample span, so coalesced reads split on the wire.
         store = yield from DDStore.create(
-            ctx.comm, _source(ctx), max_read_bytes=256
+            ctx.comm, _source(ctx), dataplane=DataPlaneOptions(max_read_bytes=8192)
         )
         lo, hi = store.local_range
         remote = [(hi + k) % 32 for k in range(8)]
@@ -315,7 +356,7 @@ def test_max_read_bytes_splits_wire_reads():
     job = run(main)
     for stats, ids in job.results:
         assert len(ids) == 8
-        assert stats.n_get_calls > 1  # the merged span exceeds 256 bytes
+        assert stats.n_get_calls > 1  # the merged span exceeds 8 KiB
         assert stats.bytes_transferred == stats.bytes_remote
 
 
@@ -342,10 +383,10 @@ def test_reshard_with_cache_and_coalescing():
 
     def main(ctx):
         store = yield from DDStore.create(
-            ctx.comm, _source(ctx), cache_bytes=1 << 20
+            ctx.comm, _source(ctx), dataplane=DataPlaneOptions(cache_bytes=1 << 20)
         )
         store2 = yield from store.reshard(width=2)
-        assert store2.config.cache_bytes == 1 << 20
+        assert store2.config.dataplane.cache_bytes == 1 << 20
         graphs = yield from store2.get_samples([30, 3])
         return graphs
 
@@ -367,9 +408,9 @@ def test_width_error_lists_valid_divisors():
 
 def test_cache_bytes_validated():
     with pytest.raises(ValueError, match="cache_bytes"):
-        DDStoreConfig(4, cache_bytes=-1)
+        DDStoreConfig(4, dataplane=DataPlaneOptions(cache_bytes=-1))
     with pytest.raises(ValueError, match="max_read_bytes"):
-        DDStoreConfig(4, max_read_bytes=0)
+        DDStoreConfig(4, dataplane=DataPlaneOptions(max_read_bytes=0))
 
 
 def test_experiment_config_validates_width_up_front():

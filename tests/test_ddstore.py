@@ -5,6 +5,7 @@ import pytest
 
 from repro.core import (
     DataLoader,
+    DataPlaneOptions,
     DDStore,
     DDStoreDataset,
     FileDataset,
@@ -14,7 +15,7 @@ from repro.core import (
 from repro.graphs import IsingGenerator, MoleculeGenerator
 from repro.hardware import TESTBOX
 from repro.mpi import run_world
-from repro.storage import CFFReader, CFFWriter, PFFReader, PFFWriter, VirtualFS
+from repro.storage import CFFReader, CFFWriter, PFFReader, PFFWriter
 
 
 def run(fn, n_nodes=2, **kw):
@@ -238,7 +239,9 @@ def test_p2p_framework_returns_same_data():
 
     def main(ctx):
         src = GeneratorSource(IsingGenerator(16, seed=0), ctx.world.machine)
-        store = yield from DDStore.create(ctx.comm, src, framework="p2p")
+        store = yield from DDStore.create(
+            ctx.comm, src, dataplane=DataPlaneOptions(framework="p2p")
+        )
         graphs = yield from store.get_samples([15, 2])
         yield from store.shutdown()
         return graphs
@@ -252,7 +255,9 @@ def test_p2p_framework_returns_same_data():
 def test_p2p_slower_than_rma():
     def main(ctx, framework):
         src = GeneratorSource(IsingGenerator(16, seed=0), ctx.world.machine)
-        store = yield from DDStore.create(ctx.comm, src, framework=framework)
+        store = yield from DDStore.create(
+            ctx.comm, src, dataplane=DataPlaneOptions(framework=framework)
+        )
         lo, hi = store.local_range
         remote = [(hi + k) % 16 for k in range(4)]
         t0 = ctx.now

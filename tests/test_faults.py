@@ -1,0 +1,159 @@
+"""Fault-injection tests: plan builders, the rank fault model, and
+world-level installation (straggler latency scaling, PFS storms)."""
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    Blackout,
+    FaultPlan,
+    PfsStorm,
+    RankFaultModel,
+    SlowRank,
+    available_fault_plans,
+    build_fault_plan,
+    install_faults,
+)
+from repro.hardware import TESTBOX
+from repro.mpi import run_world
+from repro.mpi.comm import World
+from repro.mpi.rma import create_window
+
+
+# ---------------------------------------------------------------------------
+# plans
+# ---------------------------------------------------------------------------
+
+def test_builtin_plans_registered():
+    names = available_fault_plans()
+    for name in ("straggler-10x", "blackout", "pfs-storm"):
+        assert name in names
+
+
+def test_build_fault_plan_is_deterministic():
+    a = build_fault_plan("straggler-10x", n_ranks=8, seed=3)
+    b = build_fault_plan("straggler-10x", n_ranks=8, seed=3)
+    assert a == b
+    # The straggler never lands on rank 0 (the conventional root).
+    for seed in range(20):
+        plan = build_fault_plan("straggler-10x", n_ranks=8, seed=seed)
+        (event,) = plan.events
+        assert isinstance(event, SlowRank)
+        assert 1 <= event.rank < 8
+        assert event.multiplier == 10.0
+
+
+def test_unknown_plan_name_rejected():
+    with pytest.raises(ValueError, match="no-such-plan"):
+        build_fault_plan("no-such-plan", n_ranks=4)
+
+
+def test_event_validation():
+    with pytest.raises(ValueError, match="multiplier"):
+        SlowRank(rank=1, multiplier=0.5)
+    with pytest.raises(ValueError, match="duration"):
+        Blackout(rank=1, start_s=0.0, duration_s=-1.0)
+
+
+# ---------------------------------------------------------------------------
+# RankFaultModel arithmetic
+# ---------------------------------------------------------------------------
+
+def test_slow_rank_scales_only_matching_targets_in_window():
+    model = RankFaultModel(
+        (SlowRank(rank=2, multiplier=10.0, start_s=1.0, duration_s=1.0),)
+    )
+    targets = np.array([2, 3, 2, 2])
+    starts = np.array([1.5, 1.5, 0.5, 2.5])  # in-window, wrong rank, early, late
+    completions = starts + 0.1
+    out = model.apply_batch(targets, starts, completions)
+    assert out[0] == pytest.approx(1.5 + 1.0)  # scaled 10x
+    assert out[1] == pytest.approx(1.6)  # different rank: untouched
+    assert out[2] == pytest.approx(0.6)  # before the window
+    assert out[3] == pytest.approx(2.6)  # after the window
+
+
+def test_blackout_defers_completion_past_end():
+    model = RankFaultModel((Blackout(rank=1, start_s=0.0, duration_s=2.0),))
+    targets = np.array([1, 1])
+    starts = np.array([0.5, 3.0])
+    completions = starts + 0.1
+    out = model.apply_batch(targets, starts, completions)
+    # An in-blackout message lands only after the blackout lifts, still
+    # paying its own transfer time on top.
+    assert out[0] == pytest.approx(2.0 + 0.1)
+    assert out[1] == pytest.approx(3.1)  # after the blackout: untouched
+
+
+def test_apply_message_considers_both_endpoints():
+    model = RankFaultModel((SlowRank(rank=4, multiplier=5.0),))
+    healthy = model.apply_message(0, 1, 0.0, 0.1)
+    as_src = model.apply_message(4, 1, 0.0, 0.1)
+    as_dst = model.apply_message(1, 4, 0.0, 0.1)
+    assert healthy == pytest.approx(0.1)
+    assert as_src == pytest.approx(0.5)
+    assert as_dst == pytest.approx(0.5)
+
+
+def test_no_faulty_targets_is_identity():
+    model = RankFaultModel((SlowRank(rank=7, multiplier=10.0),))
+    completions = np.array([0.1, 0.2])
+    out = model.apply_batch(np.array([0, 1]), np.zeros(2), completions)
+    assert np.array_equal(out, completions)
+    assert model.n_perturbed == 0
+
+
+# ---------------------------------------------------------------------------
+# world installation
+# ---------------------------------------------------------------------------
+
+def _get_latency(world, target):
+    """One rank-0 RMA get from ``target``; returns its modelled latency."""
+
+    def main(ctx):
+        win = yield from create_window(ctx.comm, np.zeros(4096, np.uint8))
+        lat = None
+        if ctx.rank == 0:
+            yield from win.lock(target)
+            yield from win.get_batch([(target, 0, 4096)])
+            lat = float(win.last_latencies[0])
+            yield from win.unlock(target)
+        yield from ctx.comm.barrier()
+        return lat
+
+    job = run_world(TESTBOX, 2, main, world=world)
+    return job.results[0]
+
+
+def test_install_faults_scales_rma_latency():
+    healthy = _get_latency(World(TESTBOX, 2, seed=0), target=1)
+    world = World(TESTBOX, 2, seed=0)
+    install_faults(world, FaultPlan("t", (SlowRank(rank=1, multiplier=10.0),)))
+    straggled = _get_latency(world, target=1)
+    assert straggled == pytest.approx(10.0 * healthy)
+    # A get to a healthy rank in the same faulted world is unaffected.
+    world2 = World(TESTBOX, 2, seed=0)
+    install_faults(world2, FaultPlan("t", (SlowRank(rank=1, multiplier=10.0),)))
+    assert _get_latency(world2, target=2) == pytest.approx(
+        _get_latency(World(TESTBOX, 2, seed=0), target=2)
+    )
+
+
+def test_install_faults_rejects_out_of_range_rank():
+    world = World(TESTBOX, 2, seed=0)
+    bad = FaultPlan("t", (SlowRank(rank=world.n_ranks, multiplier=2.0),))
+    with pytest.raises(ValueError, match="rank"):
+        install_faults(world, bad)
+
+
+def test_pfs_storm_issues_metadata_ops():
+    world = World(TESTBOX, 2, seed=0)
+    storm = PfsStorm(start_s=0.0, duration_s=0.01, n_ops=50)
+    install_faults(world, FaultPlan("storm", (storm,)))
+
+    def main(ctx):
+        yield from ctx.comm.barrier()
+        yield ctx.engine.timeout(0.02)  # outlive the storm window
+
+    run_world(TESTBOX, 2, main, world=world)
+    assert world.pfs.metadata_ops >= 50

@@ -1,0 +1,367 @@
+"""Resilient fetch-path tests: the retry ladder, replica failover, the
+store lifecycle, and the nested-options config API (deprecation shims)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DataPlaneOptions,
+    DDStore,
+    DDStoreConfig,
+    GeneratorSource,
+    ResilienceOptions,
+    StoreClosedError,
+)
+from repro.dataplane import (
+    FetchOutcome,
+    FetchTimeoutError,
+    RetryPolicy,
+    fetch_with_retry,
+)
+from repro.dataplane.planner import PlannedRead
+from repro.faults import FaultPlan, SlowRank, install_faults
+from repro.graphs import IsingGenerator
+from repro.hardware import TESTBOX
+from repro.mpi import run_world
+from repro.mpi.comm import World
+from repro.sim import Engine
+
+
+def run(fn, n_nodes=2, **kw):
+    return run_world(TESTBOX, n_nodes, fn, **kw)
+
+
+def _source(ctx, n=32, seed=0):
+    return GeneratorSource(IsingGenerator(n, seed=seed), ctx.world.machine)
+
+
+# ---------------------------------------------------------------------------
+# RetryPolicy
+# ---------------------------------------------------------------------------
+
+def test_retry_policy_validation():
+    with pytest.raises(ValueError, match="timeout_s"):
+        RetryPolicy(timeout_s=0.0)
+    with pytest.raises(ValueError, match="max_retries"):
+        RetryPolicy(timeout_s=1.0, max_retries=0)
+    with pytest.raises(ValueError, match="backoff_factor"):
+        RetryPolicy(timeout_s=1.0, backoff_factor=0.5)
+
+
+def test_backoff_schedule_is_exact_and_capped():
+    policy = RetryPolicy(timeout_s=1.0, backoff_s=1e-4, backoff_factor=2.0)
+    assert policy.backoff(1) == 1e-4
+    assert policy.backoff(2) == 2e-4
+    assert policy.backoff(3) == 4e-4
+    # Capped at 16 doublings: attempt 100 costs the same as attempt 17.
+    assert policy.backoff(100) == policy.backoff(17) == 1e-4 * 2**16
+
+
+def test_policy_from_options_requires_enabled():
+    with pytest.raises(ValueError, match="timeout_s"):
+        RetryPolicy.from_options(ResilienceOptions())
+    policy = RetryPolicy.from_options(
+        ResilienceOptions(timeout_s=2e-3, max_retries=3, backoff_s=5e-5)
+    )
+    assert (policy.timeout_s, policy.max_retries, policy.backoff_s) == (2e-3, 3, 5e-5)
+
+
+# ---------------------------------------------------------------------------
+# fetch_with_retry against a scripted transport
+# ---------------------------------------------------------------------------
+
+class ScriptedTransport:
+    """Yields one scripted outcome per fetch call; records what it saw.
+
+    Each script entry is ``(delay_s, timed_out_flags)``; payloads are
+    filled with the read's (possibly rerouted) target so tests can tell
+    where the bytes "came from".
+    """
+
+    def __init__(self, engine, script):
+        self.engine = engine
+        self.script = list(script)
+        self.calls = []  # (targets, timeout_s) per fetch
+
+    def fetch(self, reads, n_streams=1, timeout_s=None):
+        delay, timed_out = self.script[len(self.calls)]
+        self.calls.append(([r.target for r in reads], timeout_s))
+        if delay:
+            yield self.engine.timeout(delay)
+        flags = np.array(timed_out[: len(reads)], dtype=bool)
+        payloads = [
+            None if flags[i] else np.full(r.nbytes, r.target, np.uint8)
+            for i, r in enumerate(reads)
+        ]
+        return FetchOutcome(
+            payloads=payloads,
+            latencies=np.full(len(reads), delay, np.float64),
+            stage_seconds={"get": delay},
+            timed_out=flags,
+        )
+
+
+def _reads(n, target=1, nbytes=4):
+    return [
+        PlannedRead(target=target, offset=16 * i, nbytes=nbytes, slices=())
+        for i in range(n)
+    ]
+
+
+def _drive(engine, gen):
+    return engine.run(until=engine.process(gen))
+
+
+def test_retry_completes_timed_out_reads_and_accounts():
+    engine = Engine()
+    # Attempt 0: read 1 of 2 times out.  Attempt 1: it completes.
+    transport = ScriptedTransport(
+        engine, [(1.0, [False, True]), (0.25, [False])]
+    )
+    policy = RetryPolicy(timeout_s=1.0, max_retries=2, backoff_s=0.5)
+    out = _drive(
+        engine,
+        fetch_with_retry(transport, _reads(2), policy=policy, engine=engine),
+    )
+    assert out.n_timeouts == 1 and out.n_retries == 1 and out.n_failovers == 0
+    assert out.attempts == 2
+    assert all(p is not None for p in out.outcome.payloads)
+    # First-attempt read keeps its per-read latency; the retried read is
+    # charged everything since the batch was first issued.
+    assert out.outcome.latencies[0] == 1.0
+    assert out.outcome.latencies[1] == pytest.approx(1.0 + 0.5 + 0.25)
+    # Backoff time lands in the "retry" stage; fetch time merges into "get".
+    assert out.outcome.stage_seconds["retry"] == pytest.approx(0.5)
+    assert out.outcome.stage_seconds["get"] == pytest.approx(1.25)
+    # Both bounded attempts carried the timeout; only pending reads retried.
+    assert transport.calls == [([1, 1], 1.0), ([1], 1.0)]
+
+
+def test_final_attempt_runs_unbounded():
+    engine = Engine()
+    transport = ScriptedTransport(
+        engine, [(1.0, [True]), (1.0, [True]), (5.0, [False])]
+    )
+    policy = RetryPolicy(timeout_s=1.0, max_retries=2, backoff_s=0.0)
+    out = _drive(
+        engine,
+        fetch_with_retry(transport, _reads(1), policy=policy, engine=engine),
+    )
+    assert out.n_timeouts == 2 and out.attempts == 3
+    # The last call must not carry a timeout (degrade, don't fail).
+    assert [t for _, t in transport.calls] == [1.0, 1.0, None]
+
+
+def test_reroute_hook_redirects_retries():
+    engine = Engine()
+    transport = ScriptedTransport(engine, [(1.0, [True]), (0.1, [False])])
+    policy = RetryPolicy(timeout_s=1.0, max_retries=2, backoff_s=0.0)
+    seen = []
+
+    def reroute(read, attempt):
+        seen.append((read.target, attempt))
+        return 7
+
+    out = _drive(
+        engine,
+        fetch_with_retry(
+            transport, _reads(1, target=1), policy=policy, engine=engine,
+            reroute=reroute,
+        ),
+    )
+    assert seen == [(1, 1)]
+    assert out.n_failovers == 1
+    assert out.retry_targets == {0: 7}
+    assert transport.calls[1][0] == [7]  # the retry went to the new target
+    # The payload reflects the rerouted target.
+    assert out.outcome.payloads[0][0] == 7
+
+
+def test_exhausted_retries_raise():
+    engine = Engine()
+    # A transport that reports timeouts even on the unbounded attempt
+    # (possible for third-party transports) must surface a typed error.
+    transport = ScriptedTransport(
+        engine, [(0.1, [True]), (0.1, [True]), (0.1, [True])]
+    )
+    policy = RetryPolicy(timeout_s=1.0, max_retries=2, backoff_s=0.0)
+    with pytest.raises(FetchTimeoutError, match="1 read"):
+        _drive(
+            engine,
+            fetch_with_retry(transport, _reads(1), policy=policy, engine=engine),
+        )
+
+
+def test_empty_batch_is_a_noop():
+    engine = Engine()
+    transport = ScriptedTransport(engine, [])
+    policy = RetryPolicy(timeout_s=1.0)
+    out = _drive(
+        engine, fetch_with_retry(transport, [], policy=policy, engine=engine)
+    )
+    assert out.outcome.payloads == [] and out.attempts == 1
+    assert transport.calls == []
+
+
+# ---------------------------------------------------------------------------
+# DDStore failover end-to-end: faults change timing, never bytes
+# ---------------------------------------------------------------------------
+
+def _epoch(ctx, resilience=None):
+    store = yield from DDStore.create(
+        ctx.comm, _source(ctx), width=2, resilience=resilience,
+        record_latencies=True,
+    )
+    graphs = yield from store.get_samples(range(32))
+    return graphs, store.stats
+
+
+def test_failover_returns_identical_bytes_under_straggler():
+    gen = IsingGenerator(32, seed=0)
+    baseline = run(_epoch)
+    healthy_max = max(
+        float(stats.latency_array().max()) for _g, stats in baseline.results
+    )
+
+    def faulted():
+        world = World(TESTBOX, 2, seed=0)
+        install_faults(
+            world, FaultPlan("t", (SlowRank(rank=1, multiplier=1000.0),))
+        )
+        res = ResilienceOptions(
+            timeout_s=3 * healthy_max, max_retries=2, backoff_s=1e-5
+        )
+        return run(_epoch, world=world, resilience=res)
+
+    job = faulted()
+    timeouts = sum(s.n_timeouts for _g, s in job.results)
+    failovers = sum(s.n_failovers for _g, s in job.results)
+    assert timeouts > 0 and failovers > 0
+    # Every rank decodes exactly the samples the fault-free run decodes.
+    for (graphs, _s), (ref, _sr) in zip(job.results, baseline.results):
+        for g, r in zip(graphs, ref):
+            assert g.sample_id == r.sample_id
+            assert g.allclose(gen.make(g.sample_id))
+
+    # Bit-determinism: the same faulted world replays identically.
+    again = faulted()
+    for (g1, s1), (g2, s2) in zip(job.results, again.results):
+        assert np.array_equal(s1.latency_array(), s2.latency_array())
+        assert s1.n_timeouts == s2.n_timeouts
+        assert s1.n_failovers == s2.n_failovers
+
+
+def test_resilience_off_keeps_seed_counters():
+    job = run(_epoch)  # ResilienceOptions() default: disabled
+    for _graphs, stats in job.results:
+        assert stats.n_timeouts == 0
+        assert stats.n_retries == 0
+        assert stats.n_failovers == 0
+        assert "retry" not in stats.stage_seconds
+
+
+# ---------------------------------------------------------------------------
+# lifecycle: close(), context manager, StoreClosedError
+# ---------------------------------------------------------------------------
+
+def test_shutdown_closes_and_fetch_raises():
+    def main(ctx):
+        store = yield from DDStore.create(ctx.comm, _source(ctx))
+        yield from store.get_samples([0, 1])
+        yield from store.shutdown()
+        assert store.closed
+        store.close()  # idempotent: a second close is a no-op
+        try:
+            yield from store.get_samples([2])
+        except StoreClosedError:
+            return True
+        return False
+
+    assert all(run(main).results)
+
+
+def test_context_manager_closes_and_rejects_reentry():
+    def main(ctx):
+        store = yield from DDStore.create(ctx.comm, _source(ctx))
+        with store as s:
+            assert s is store and not store.closed
+        assert store.closed
+        try:
+            with store:
+                pass
+        except StoreClosedError:
+            return True
+        return False
+
+    assert all(run(main).results)
+
+
+# ---------------------------------------------------------------------------
+# nested options API + deprecation shims
+# ---------------------------------------------------------------------------
+
+def test_flat_kwargs_warn_and_land_in_nested_groups():
+    with pytest.warns(DeprecationWarning, match="deprecated"):
+        cfg = DDStoreConfig(
+            4, cache_bytes=1 << 10, timeout_s=1e-3, failover=False
+        )
+    assert cfg.dataplane.cache_bytes == 1 << 10
+    assert cfg.resilience.timeout_s == 1e-3
+    assert cfg.resilience.failover is False
+    # Read-only flat views stay available (and silent).
+    assert cfg.cache_bytes == 1 << 10
+    assert cfg.framework == "mpi-rma"
+
+
+def test_flat_kwargs_merge_over_explicit_nested_options():
+    with pytest.warns(DeprecationWarning):
+        cfg = DDStoreConfig(
+            4,
+            dataplane=DataPlaneOptions(coalesce=False),
+            cache_bytes=256,
+        )
+    assert cfg.dataplane.coalesce is False  # nested value survives
+    assert cfg.dataplane.cache_bytes == 256  # flat value merged in
+
+
+def test_unknown_kwarg_is_a_type_error():
+    with pytest.raises(TypeError, match="unexpected keyword"):
+        DDStoreConfig(4, cache_bites=1)
+
+
+def test_create_accepts_flat_kwargs_with_warning():
+    def main(ctx):
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            store = yield from DDStore.create(
+                ctx.comm, _source(ctx), coalesce=False
+            )
+        assert store.config.dataplane.coalesce is False
+        return True
+
+    assert all(run(main).results)
+
+
+def test_resilience_options_validation():
+    with pytest.raises(ValueError, match="timeout_s"):
+        ResilienceOptions(timeout_s=-1.0)
+    with pytest.raises(ValueError, match="max_retries"):
+        ResilienceOptions(max_retries=0)
+    assert not ResilienceOptions().enabled
+    assert ResilienceOptions(timeout_s=1e-3).enabled
+
+
+def test_max_read_bytes_smaller_than_largest_sample_rejected():
+    def main(ctx):
+        try:
+            yield from DDStore.create(
+                ctx.comm, _source(ctx),
+                dataplane=DataPlaneOptions(max_read_bytes=64),
+            )
+        except ValueError as exc:
+            return str(exc)
+        return ""
+
+    for msg in run(main).results:
+        assert "max_read_bytes" in msg
+        assert "largest packed sample" in msg
+        assert "64" in msg
