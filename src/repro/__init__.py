@@ -22,11 +22,14 @@ Subpackages
     HydraGNN-like NumPy GNN (PNA layers), AdamW, DDP training loop.
 ``repro.bench``
     Experiment harness regenerating every table and figure.
+``repro.obs``
+    Unified observability: metrics registry, span tracing with Chrome
+    export, and the critical-path analyzer behind ``python -m repro trace``.
 
 Quick start: see ``examples/quickstart.py``.
 """
 
-from . import bench, core, gnn, graphs, hardware, mpi, sim, storage
+from . import bench, core, gnn, graphs, hardware, mpi, obs, sim, storage
 
 __version__ = "1.0.0"
 
@@ -39,5 +42,6 @@ __all__ = [
     "core",
     "gnn",
     "bench",
+    "obs",
     "__version__",
 ]

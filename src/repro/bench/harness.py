@@ -362,27 +362,37 @@ def _rank_main(ctx, cfg: ExperimentConfig, blobs: list[bytes]):
         latencies=np.concatenate(latencies) if latencies else np.empty(0),
         preload=preload_time,
         losses=losses,
-        fetch_stages=dict(store.stats.stage_seconds) if store is not None else {},
-        fetch_counters=store.stats.counters() if store is not None else {},
     )
 
 
-def run_experiment(cfg: ExperimentConfig) -> ExperimentResult:
-    """Simulate one evaluation cell and aggregate across ranks."""
+def run_experiment(cfg: ExperimentConfig, observer=None) -> ExperimentResult:
+    """Simulate one evaluation cell and aggregate across ranks.
+
+    ``observer`` is an optional :class:`repro.obs.Observer`; when omitted a
+    metrics-only observer is attached, so the registry roll-ups below are
+    always live (the old per-rank ``fetch_stages`` plumbing is gone — the
+    registry is the canonical owner of the fetch counters).  Pass an
+    observer with tracing on to additionally collect spans.
+    """
     import gc
+
+    from ..obs import Observer
 
     gc.collect()  # drop the previous cell's world (VFS files, chunk buffers)
     blobs = packed_blobs(cfg.dataset, cfg.seed, cfg.resolved_samples())
     machine = get_machine(cfg.machine)
-    world = None
-    if cfg.fault_plan is not None:
-        # Build the world up-front so the fault plan is armed before any
-        # rank process issues traffic.
-        from ..faults import build_fault_plan, install_faults
-        from ..mpi.comm import World
+    # Build the world up-front so the observer (and any fault plan) is
+    # armed before any rank process issues traffic.
+    from ..mpi.comm import World
 
-        world = World(machine, cfg.n_nodes, seed=cfg.seed, jitter_sigma=cfg.jitter_sigma)
+    world = World(machine, cfg.n_nodes, seed=cfg.seed, jitter_sigma=cfg.jitter_sigma)
+    if cfg.fault_plan is not None:
+        from ..faults import build_fault_plan, install_faults
+
         install_faults(world, build_fault_plan(cfg.fault_plan, world.n_ranks, cfg.seed))
+    if observer is None:
+        observer = Observer(trace=False)
+    world.attach_observer(observer)
     job = run_world(
         machine,
         cfg.n_nodes,
@@ -394,22 +404,28 @@ def run_experiment(cfg: ExperimentConfig) -> ExperimentResult:
         world=world,
     )
     per_rank = job.results
+    n_ranks = len(per_rank)
     elapsed = max(r["elapsed"] for r in per_rank)
     total_samples = sum(r["n_samples"] for r in per_rank)
     mean_phases = PhaseTimes()
     for r in per_rank:
         mean_phases = mean_phases.merged(r["phases"])
     for k in mean_phases.seconds:
-        mean_phases.seconds[k] /= len(per_rank)
+        mean_phases.seconds[k] /= n_ranks
     latencies = np.concatenate([r["latencies"] for r in per_rank])
+    from ..core import FetchStats
     from .metrics import merge_stage_seconds
 
-    fetch_stages = merge_stage_seconds(r["fetch_stages"] for r in per_rank)
-    fetch_stages = {k: v / len(per_rank) for k, v in fetch_stages.items()}
+    m = observer.metrics
+    fetch_stages = merge_stage_seconds([m.sum_by("ddstore.stage_seconds", "stage")])
+    fetch_stages = {k: v / n_ranks for k, v in fetch_stages.items()}
     fetch_counters: dict[str, int] = {}
-    for r in per_rank:
-        for k, v in r["fetch_counters"].items():
-            fetch_counters[k] = fetch_counters.get(k, 0) + int(v)
+    if cfg.method in ("ddstore", "ddstore-p2p"):
+        # Same shape the old store.stats plumbing produced: every canonical
+        # counter present, zero-filled, summed across ranks.
+        fetch_counters = dict.fromkeys(FetchStats().counters(), 0)
+        for k, v in m.sum_by("ddstore.fetch", "counter").items():
+            fetch_counters[k] = int(v)
     return ExperimentResult(
         config=cfg,
         elapsed=elapsed,

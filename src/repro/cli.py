@@ -7,6 +7,7 @@ Usage::
     python -m repro run all [--scale small]   # the whole evaluation
     python -m repro machines                  # calibrated machine specs
     python -m repro datasets [--samples 100]  # dataset statistics
+    python -m repro trace fig5 [--check]      # traced run + Chrome export
 
 Reports (text + JSON) are written to ``bench_results/`` (override with
 ``REPRO_RESULTS_DIR``); scale via ``--scale`` or ``REPRO_BENCH_SCALE``.
@@ -124,6 +125,47 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.scale:
+        os.environ["REPRO_BENCH_SCALE"] = args.scale
+    from .bench.reporting import results_dir
+    from .obs import TRACEABLE, run_traced, trace_json_bytes
+
+    if args.name not in TRACEABLE:
+        print(f"unknown traceable experiment: {args.name}", file=sys.stderr)
+        width = max(len(k) for k in TRACEABLE)
+        for key, (_fn, desc) in TRACEABLE.items():
+            print(f"  {key.ljust(width)}  {desc}", file=sys.stderr)
+        return 2
+    profile = current_profile()
+    print(
+        f"== trace {args.name}: {TRACEABLE[args.name][1]} "
+        f"(scale profile: {profile.name}) =="
+    )
+    run = run_traced(args.name, profile, tolerance=args.tolerance)
+    payload = trace_json_bytes(run.chrome)
+    out = args.out or os.path.join(results_dir(), f"trace_{args.name}.json")
+    with open(out, "wb") as fh:
+        fh.write(payload)
+    print(run.render())
+    print(f"\n[chrome trace written to {out} — open in ui.perfetto.dev]")
+    if not run.report.ok:
+        print(
+            f"critical-path invariant VIOLATED on "
+            f"{len(run.report.violations())} epoch(s)",
+            file=sys.stderr,
+        )
+        return 1
+    if args.check:
+        # Determinism: an identical rerun must serialise byte-identically.
+        rerun = run_traced(args.name, profile, tolerance=args.tolerance)
+        if trace_json_bytes(rerun.chrome) != payload:
+            print("trace export is NOT deterministic across reruns", file=sys.stderr)
+            return 1
+        print("[check] trace valid, invariant holds, export deterministic")
+    return 0
+
+
 def _cmd_dataplane(_args: argparse.Namespace) -> int:
     from .dataplane import available_frameworks, get_transport
 
@@ -157,6 +199,20 @@ def main(argv: list[str] | None = None) -> int:
     ds = sub.add_parser("datasets", help="dataset statistics (Table 1)")
     ds.add_argument("--samples", type=int, default=100)
     ds.set_defaults(fn=_cmd_datasets)
+
+    tr = sub.add_parser(
+        "trace", help="run one experiment traced; export Chrome trace JSON"
+    )
+    tr.add_argument("name", help="traceable experiment (fig5, fig9, resilience, p2p)")
+    tr.add_argument("--scale", choices=["tiny", "small", "paper"], default=None)
+    tr.add_argument("--out", default=None, help="output path for the trace JSON")
+    tr.add_argument("--tolerance", type=float, default=0.01)
+    tr.add_argument(
+        "--check",
+        action="store_true",
+        help="also verify the export is bit-deterministic (runs twice)",
+    )
+    tr.set_defaults(fn=_cmd_trace)
 
     sub.add_parser(
         "dataplane", help="list registered data-plane transports"

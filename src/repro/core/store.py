@@ -39,6 +39,7 @@ import numpy as np
 
 from ..dataplane import (
     FetchPlanner,
+    FetchTimeoutError,
     PlannedRead,
     RetryPolicy,
     SampleCache,
@@ -164,6 +165,10 @@ class DDStore:
         self._my_group = config.group_of_rank(comm.rank)
         self._group_base = self._my_group * config.effective_width
         self._failover_order: dict[int, list[int]] = {}
+        # Snapshot of the cache's cumulative counters at the last
+        # get_samples sync — FetchStats accumulates *deltas* against it, so
+        # resetting ``store.stats`` mid-run cannot resurrect old cache hits.
+        self._cache_base = self.cache.stats.as_dict()
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -311,6 +316,9 @@ class DDStore:
             return []
         engine = self.comm.engine
         stats = self.stats
+        obs = self.comm.communicator.world.obs
+        track = self.comm.world_rank
+        stage_before = dict(stats.stage_seconds) if obs.metrics.enabled else None
         t_start = engine.now
         owners, offsets, sizes = self.registry.locate_batch(idx)
         me = self.group_comm.rank
@@ -349,15 +357,19 @@ class DDStore:
                 cache_time += hit_cost
             fetch_positions = np.asarray(missed, dtype=np.int64)
 
-        # Zero-size samples need no bytes on the wire.
+        # Zero-size samples need no bytes on the wire, but they are still
+        # remote samples this call served — count them as such.
+        n_zero = 0
         if fetch_positions.size:
             empty = fetch_positions[sizes[fetch_positions] == 0]
             for p in empty:
                 blobs[p] = np.zeros(0, dtype=np.uint8)
             if empty.size:
+                n_zero = int(empty.size)
                 fetch_positions = fetch_positions[sizes[fetch_positions] > 0]
 
         plan = None
+        d_timeouts = d_retries = d_failovers = 0
         if fetch_positions.size:
             plan = self.planner.plan(
                 owners[fetch_positions] + self._group_base,
@@ -366,9 +378,21 @@ class DDStore:
                 positions=fetch_positions,
             )
             plan_s = _PLAN_BASE_S + _PLAN_S_PER_REQ * int(fetch_positions.size)
+            t_plan = engine.now
             yield engine.timeout(plan_s)
             stats.add_stage("plan", plan_s)
+            if obs.tracing:
+                obs.tracer.record(
+                    "store.plan",
+                    cat="store.stage",
+                    track=track,
+                    lane=1,
+                    start=t_plan,
+                    end=engine.now,
+                    n_reads=plan.n_reads,
+                )
             res = self.config.resilience
+            t_fetch = engine.now
             if res.enabled:
                 reroute = (
                     self._reroute if res.failover and self.n_replicas > 1 else None
@@ -380,14 +404,30 @@ class DDStore:
                     engine=engine,
                     n_streams=max(1, n_workers),
                     reroute=reroute,
+                    obs=obs,
+                    track=track,
                 )
                 outcome = retry_out.outcome
-                stats.n_timeouts += retry_out.n_timeouts
-                stats.n_retries += retry_out.n_retries
-                stats.n_failovers += retry_out.n_failovers
+                d_timeouts = retry_out.n_timeouts
+                d_retries = retry_out.n_retries
+                d_failovers = retry_out.n_failovers
+                stats.n_timeouts += d_timeouts
+                stats.n_retries += d_retries
+                stats.n_failovers += d_failovers
             else:
                 outcome = yield from self.transport.fetch(
                     plan.reads, n_streams=max(1, n_workers)
+                )
+            if obs.tracing:
+                obs.tracer.record(
+                    "store.fetch",
+                    cat="store.stage",
+                    track=track,
+                    lane=1,
+                    start=t_fetch,
+                    end=engine.now,
+                    n_reads=plan.n_reads,
+                    nbytes=plan.total_bytes,
                 )
             self._scatter(plan, outcome, blobs, latencies)
             for stage, seconds in outcome.stage_seconds.items():
@@ -398,12 +438,33 @@ class DDStore:
 
         if local_time:
             local_wait = local_time / max(1, n_workers)
+            t_copy = engine.now
             yield engine.timeout(local_wait)
             stats.add_stage("copy", local_wait)
+            if obs.tracing:
+                obs.tracer.record(
+                    "store.copy",
+                    cat="store.stage",
+                    track=track,
+                    lane=1,
+                    start=t_copy,
+                    end=engine.now,
+                    n=int(local_positions.size),
+                )
         if cache_time:
             cache_wait = cache_time / max(1, n_workers)
+            t_cache = engine.now
             yield engine.timeout(cache_wait)
             stats.add_stage("cache", cache_wait)
+            if obs.tracing:
+                obs.tracer.record(
+                    "store.cache",
+                    cat="store.stage",
+                    track=track,
+                    lane=1,
+                    start=t_cache,
+                    end=engine.now,
+                )
 
         # -- deserialise (CPU) ----------------------------------------------
         if decode == "raw":
@@ -416,8 +477,19 @@ class DDStore:
                 count=idx.size,
             )
             decode_wait = float(dec.sum()) / max(1, n_workers)
+            t_decode = engine.now
             yield engine.timeout(decode_wait)
             stats.add_stage("decode", decode_wait)
+            if obs.tracing:
+                obs.tracer.record(
+                    "store.decode",
+                    cat="store.stage",
+                    track=track,
+                    lane=1,
+                    start=t_decode,
+                    end=engine.now,
+                    n=int(idx.size),
+                )
             latencies += dec
             if decode:
                 graphs = [unpack_graph(b) for b in blobs]
@@ -426,22 +498,72 @@ class DDStore:
 
         # -- bookkeeping ------------------------------------------------------
         n_fetched = int(fetch_positions.size) if plan is not None else 0
+        n_remote_served = n_fetched + n_zero
+        bytes_local = int(sizes[local_positions].sum()) if local_positions.size else 0
+        bytes_remote = int(sizes[fetch_positions].sum()) if n_fetched else 0
         stats.n_local += int(local_positions.size)
-        stats.n_remote += n_fetched
-        stats.bytes_local += int(sizes[local_positions].sum()) if local_positions.size else 0
-        stats.bytes_remote += int(sizes[fetch_positions].sum()) if n_fetched else 0
+        stats.n_remote += n_remote_served
+        stats.bytes_local += bytes_local
+        stats.bytes_remote += bytes_remote
         if plan is not None:
             stats.n_get_calls += plan.n_reads
             stats.bytes_transferred += plan.total_bytes
-        cs = self.cache.stats
-        stats.n_cache_hits = cs.hits
-        stats.n_cache_misses = cs.misses
-        stats.n_cache_evictions = cs.evictions
-        stats.bytes_cache_hits = cs.hit_bytes
+        # Cache counters accumulate as deltas against the last snapshot: the
+        # cache's own stats are cumulative and shared across stats resets.
+        cs = self.cache.stats.as_dict()
+        base = self._cache_base
+        d_hits = cs["hits"] - base["hits"]
+        d_misses = cs["misses"] - base["misses"]
+        d_evictions = cs["evictions"] - base["evictions"]
+        d_hit_bytes = cs["hit_bytes"] - base["hit_bytes"]
+        stats.n_cache_hits += d_hits
+        stats.n_cache_misses += d_misses
+        stats.n_cache_evictions += d_evictions
+        stats.bytes_cache_hits += d_hit_bytes
+        self._cache_base = cs
         stats.fetch_time += engine.now - t_start - float(dec.sum())
         stats.decode_time += float(dec.sum())
         if self.record_latencies:
             stats.latencies.extend(latencies.tolist())
+
+        m = obs.metrics
+        if m.enabled:
+            for cname, val in (
+                ("n_local", int(local_positions.size)),
+                ("n_remote", n_remote_served),
+                ("bytes_local", bytes_local),
+                ("bytes_remote", bytes_remote),
+                ("n_get_calls", plan.n_reads if plan is not None else 0),
+                ("bytes_transferred", plan.total_bytes if plan is not None else 0),
+                ("n_cache_hits", d_hits),
+                ("n_cache_misses", d_misses),
+                ("n_cache_evictions", d_evictions),
+                ("bytes_cache_hits", d_hit_bytes),
+                ("n_timeouts", d_timeouts),
+                ("n_retries", d_retries),
+                ("n_failovers", d_failovers),
+            ):
+                if val:
+                    m.counter("ddstore.fetch", counter=cname, rank=track).inc(val)
+            for stage, seconds in stats.stage_seconds.items():
+                d_sec = seconds - stage_before.get(stage, 0.0)
+                if d_sec:
+                    m.counter(
+                        "ddstore.stage_seconds", stage=stage, rank=track
+                    ).inc(d_sec)
+        if obs.tracing:
+            obs.tracer.record(
+                "store.get_samples",
+                cat="store",
+                track=track,
+                lane=1,
+                start=t_start,
+                end=engine.now,
+                n=int(idx.size),
+                n_local=int(local_positions.size),
+                n_remote=n_remote_served,
+                n_cache_hits=d_hits,
+            )
         return graphs
 
     @staticmethod
@@ -638,11 +760,43 @@ class _StoreSource:
                         slices=(),
                     )
                 )
-        outcome = yield from store.transport.fetch(remote_reads)
+        # The bulk reads go through the same resilience ladder as the
+        # training-time fetch path: a reshard under a straggler/dark peer
+        # retries and fails over instead of silently stitching None
+        # payloads into the new chunk.
+        payloads: list = []
+        if remote_reads:
+            res = store.config.resilience
+            if res.enabled:
+                reroute = (
+                    store._reroute
+                    if res.failover and store.n_replicas > 1
+                    else None
+                )
+                retry_out = yield from fetch_with_retry(
+                    store.transport,
+                    remote_reads,
+                    policy=RetryPolicy.from_options(res),
+                    engine=engine,
+                    reroute=reroute,
+                    obs=store.comm.communicator.world.obs,
+                    track=store.comm.world_rank,
+                )
+                outcome = retry_out.outcome
+                store.stats.n_timeouts += retry_out.n_timeouts
+                store.stats.n_retries += retry_out.n_retries
+                store.stats.n_failovers += retry_out.n_failovers
+            else:
+                outcome = yield from store.transport.fetch(remote_reads)
+                timed_out = outcome.timed_out
+                if timed_out is not None and timed_out.any():
+                    raise FetchTimeoutError(
+                        f"{int(timed_out.sum())} bulk reshard read(s) timed "
+                        "out (resilience disabled; no retry budget)"
+                    )
+            payloads = outcome.payloads
         by_owner = dict(local_parts)
-        by_owner.update(
-            {o: p for o, p in zip(remote_owners, outcome.payloads)}
-        )
+        by_owner.update({o: p for o, p in zip(remote_owners, payloads)})
         buffer = (
             np.concatenate([by_owner[r[0]] for r in requests])
             if requests

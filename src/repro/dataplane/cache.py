@@ -89,22 +89,33 @@ class SampleCache:
         """
         if not self.enabled:
             return False
-        nbytes = int(np.asarray(payload).nbytes)
+        # Store a byte-preserving *view* copy and account for exactly what
+        # is stored: casting with astype would mangle non-uint8 payloads and
+        # nbytes-from-the-input would drift from the resident bytes.
+        stored = np.ascontiguousarray(payload).view(np.uint8).reshape(-1).copy()
+        nbytes = int(stored.nbytes)
         if nbytes > self.capacity_bytes:
             return False
-        if key in self._entries:
-            self._entries.move_to_end(key)
-            return True
+        refreshing = key in self._entries
+        if refreshing:
+            old = self._entries.pop(key)
+            self.used_bytes -= int(old.nbytes)
         while self.used_bytes + nbytes > self.capacity_bytes:
             _, victim = self._entries.popitem(last=False)
             self.used_bytes -= int(victim.nbytes)
             self.stats.evictions += 1
             self.stats.evicted_bytes += int(victim.nbytes)
-        self._entries[key] = np.asarray(payload, dtype=np.uint8).reshape(-1).copy()
+        self._entries[key] = stored
         self.used_bytes += nbytes
-        self.stats.insertions += 1
+        if not refreshing:
+            self.stats.insertions += 1
         return True
 
     def clear(self) -> None:
+        """Drop every entry, counting them as evictions so the stats
+        invariant ``insertions - evictions == len(cache)`` survives."""
+        for entry in self._entries.values():
+            self.stats.evictions += 1
+            self.stats.evicted_bytes += int(entry.nbytes)
         self._entries.clear()
         self.used_bytes = 0

@@ -120,12 +120,14 @@ class FetchPlanner:
             return FetchPlan(reads=(), n_requests=0)
 
         if not self.coalesce:
+            # Zero-size requests keep their degenerate read (position
+            # accounting) but carry no slices, matching the coalescing path.
             reads = tuple(
                 PlannedRead(
                     target=int(t),
                     offset=int(o),
                     nbytes=int(s),
-                    slices=(ReadSlice(int(p), 0, 0, int(s)),),
+                    slices=(ReadSlice(int(p), 0, 0, int(s)),) if s else (),
                 )
                 for t, o, s, p in zip(targets, offsets, sizes, positions)
             )

@@ -93,6 +93,8 @@ def fetch_with_retry(
     engine,
     n_streams: int = 1,
     reroute: Optional[Callable[[PlannedRead, int], Optional[int]]] = None,
+    obs=None,
+    track: int = 0,
 ) -> Generator:
     """Execute ``reads`` through ``transport`` under ``policy``.
 
@@ -100,6 +102,11 @@ def fetch_with_retry(
     payload per input read, in input order.  ``reroute(read, attempt)``
     (attempt is 1-based) may return a replacement target rank for a read
     being retried, or ``None`` to keep its current target.
+
+    ``obs`` is an optional :class:`repro.obs.Observer`: every transport
+    round trip is recorded as a ``fetch.attempt`` span on ``track``'s
+    data-plane lane, so timeouts and failovers show up as distinct child
+    spans under the store's fetch span.
     """
     reads = list(reads)
     n = len(reads)
@@ -130,6 +137,7 @@ def fetch_with_retry(
         # the batch down rather than failing it.
         timeout = policy.timeout_s if attempt < policy.max_retries else None
         batch = [read for _, read in pending]
+        t_attempt = engine.now
         if timeout is None:
             outcome = yield from transport.fetch(batch, n_streams=n_streams)
         else:
@@ -137,6 +145,20 @@ def fetch_with_retry(
                 batch, n_streams=n_streams, timeout_s=timeout
             )
         result.attempts += 1
+        if obs is not None and obs.tracing:
+            t_o = outcome.timed_out
+            obs.tracer.record(
+                "fetch.attempt",
+                cat="dataplane",
+                track=track,
+                lane=1,
+                start=t_attempt,
+                end=engine.now,
+                attempt=attempt + 1,
+                n_reads=len(batch),
+                n_timeouts=int(t_o.sum()) if t_o is not None else 0,
+                n_failovers=result.n_failovers,
+            )
         for stage, seconds in outcome.stage_seconds.items():
             merged.stage_seconds[stage] = (
                 merged.stage_seconds.get(stage, 0.0) + seconds

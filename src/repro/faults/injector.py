@@ -54,6 +54,7 @@ class RankFaultModel:
             dtype=np.int64,
         )
         self.n_perturbed = 0  # messages this model has slowed down
+        self._world = None  # set by install_faults; used to publish metrics
 
     def apply_batch(
         self,
@@ -72,6 +73,7 @@ class RankFaultModel:
         if not np.isin(target_ranks, self._faulty).any():
             return completions
         out = np.array(completions, dtype=np.float64, copy=True)
+        n_slow = n_blackout = 0
         for ev in self.slow:
             mask = (
                 (target_ranks == ev.rank)
@@ -80,7 +82,7 @@ class RankFaultModel:
             )
             if mask.any():
                 out[mask] = starts[mask] + (out[mask] - starts[mask]) * ev.multiplier
-                self.n_perturbed += int(mask.sum())
+                n_slow += int(mask.sum())
         for ev in self.blackouts:
             mask = (
                 (target_ranks == ev.rank)
@@ -91,7 +93,16 @@ class RankFaultModel:
                 out[mask] = np.maximum(
                     out[mask], ev.end_s + (out[mask] - starts[mask])
                 )
-                self.n_perturbed += int(mask.sum())
+                n_blackout += int(mask.sum())
+        if n_slow or n_blackout:
+            self.n_perturbed += n_slow + n_blackout
+            if self._world is not None:
+                m = self._world.obs.metrics
+                if m.enabled:
+                    if n_slow:
+                        m.counter("faults.n_perturbed", kind="slow").inc(n_slow)
+                    if n_blackout:
+                        m.counter("faults.n_perturbed", kind="blackout").inc(n_blackout)
         return out
 
     def apply_message(
@@ -126,6 +137,7 @@ def install_faults(world, plan: FaultPlan) -> RankFaultModel:
                 f"world has only {n_ranks} ranks"
             )
     model = RankFaultModel(plan.events)
+    model._world = world  # perturbation counts flow into world.obs.metrics
     world.net.faults = model
     for storm in plan.storms:
         _schedule_storm(world, plan, storm)

@@ -30,7 +30,6 @@ from ..core import DataLoader
 from ..hardware import GnnWorkload, GpuModel
 from ..mpi import RankContext
 from .ddp import DistributedModel
-from .model import HydraGNN
 
 __all__ = ["PhaseTimes", "EpochReport", "Trainer"]
 
@@ -126,6 +125,8 @@ class Trainer:
         """Run one epoch; returns an :class:`EpochReport` (collective)."""
         ctx = self.ctx
         engine = ctx.engine
+        obs = ctx.world.obs
+        track = ctx.rank
         phases = PhaseTimes()
         t_epoch = engine.now
         batches = self.loader.epoch_batches(epoch)
@@ -133,11 +134,29 @@ class Trainer:
         latencies: list[np.ndarray] = []
         n_samples = 0
 
+        # Stage spans tile the epoch span exactly: every virtual-time
+        # interval of this coroutine is inside exactly one stage (pure-CPU
+        # work takes zero virtual time), which is the critical-path
+        # analyzer's invariant.  Zero-length stages are not recorded.
+        def stage(name: str, start: float, **args) -> None:
+            if obs.tracing and engine.now > start:
+                obs.tracer.record(
+                    name,
+                    cat="trainer.stage",
+                    track=track,
+                    lane=0,
+                    start=start,
+                    end=engine.now,
+                    **args,
+                )
+
         # Prefetch pipeline: batch k+1 loads while batch k computes.
         pending = engine.process(self.loader.load(batches[0]), name="prefetch") if batches else None
 
         for step, idx in enumerate(batches):
+            t0 = engine.now
             loaded = yield pending  # stall only for the un-overlapped remainder
+            stage("data_wait", t0, step=step)
             # Fig 5's stacked bars report the CPU pipeline's own cost
             # (whether or not it hid under GPU compute), so book the full
             # load duration, not just the stall.
@@ -157,6 +176,7 @@ class Trainer:
             t0 = engine.now
             yield engine.timeout(self.gpu.h2d_time(work.batch_bytes()))
             phases.add("gpu_h2d", engine.now - t0)
+            stage("gpu_h2d", t0, step=step)
 
             if self.real_compute:
                 self.optimizer.zero_grad()
@@ -165,9 +185,11 @@ class Trainer:
             t0 = engine.now
             yield engine.timeout(self.gpu.forward_time(work))
             phases.add("gpu_forward", engine.now - t0)
+            stage("gpu_forward", t0, step=step)
             t0 = engine.now
             yield engine.timeout(self.gpu.backward_time(work))
             phases.add("gpu_backward", engine.now - t0)
+            stage("gpu_backward", t0, step=step)
 
             # (iv) gradient aggregation (includes waiting for stragglers).
             t0 = engine.now
@@ -176,6 +198,7 @@ class Trainer:
             else:
                 yield from self.dmodel.sync_gradients_modelled()
             phases.add("gpu_comm", engine.now - t0)
+            stage("gpu_comm", t0, step=step)
 
             # (v) optimiser update.
             t0 = engine.now
@@ -183,8 +206,30 @@ class Trainer:
                 self.optimizer.step()
             yield engine.timeout(self.gpu.optimizer_time(self.dmodel.model.n_params()))
             phases.add("optimizer", engine.now - t0)
+            stage("optimizer", t0, step=step)
 
         elapsed = engine.now - t_epoch
+        if obs.tracing:
+            obs.tracer.record(
+                "epoch",
+                cat="trainer.epoch",
+                track=track,
+                lane=0,
+                start=t_epoch,
+                end=engine.now,
+                epoch=epoch,
+                n_steps=len(batches),
+                n_samples=n_samples,
+            )
+        m = obs.metrics
+        if m.enabled:
+            for phase, seconds in phases.seconds.items():
+                if seconds:
+                    m.counter(
+                        "trainer.phase_seconds", phase=phase, rank=track
+                    ).inc(seconds)
+            m.counter("trainer.samples", rank=track).inc(n_samples)
+            m.counter("trainer.epochs", rank=track).inc(1)
         return EpochReport(
             epoch=epoch,
             n_steps=len(batches),

@@ -29,9 +29,8 @@ from collections import defaultdict, deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Iterable, Optional
 
-import numpy as np
-
 from ..hardware import Cluster, Interconnect, MachineSpec, ParallelFileSystem
+from ..obs import NULL_OBSERVER
 from ..sim import Engine, Event
 from ..storage.vfs import VirtualFS
 from .datatypes import reduce_values, sizeof
@@ -108,6 +107,13 @@ class World:
         self.stats = [MPIStats() for _ in range(self.n_ranks)]
         self.comm_world = Communicator(self, list(range(self.n_ranks)), name="COMM_WORLD")
         self.seed = seed
+        self.obs = NULL_OBSERVER
+
+    def attach_observer(self, observer) -> None:
+        """Wire an :class:`repro.obs.Observer` through every instrumented
+        layer of this world (MPI, RMA, data plane, store, trainer)."""
+        observer.bind(self.engine)
+        self.obs = observer
 
     def comm_handle(self, rank: int) -> "Comm":
         return Comm(self.comm_world, rank)
@@ -421,6 +427,21 @@ class Comm:
         done.add_callback(
             lambda _e: self.stats.record("MPI_Send", engine.now - start, nbytes)
         )
+        obs = c.world.obs
+        if obs.tracing:
+            track = self.world_rank
+            done.add_callback(
+                lambda _e: obs.tracer.record(
+                    "mpi.MPI_Send",
+                    cat="mpi.p2p",
+                    track=track,
+                    lane=1,
+                    start=start,
+                    end=engine.now,
+                    dest=dest,
+                    nbytes=nbytes,
+                )
+            )
         return done
 
     def send(self, data: Any, dest: int, tag: int = 0) -> Generator:
@@ -435,9 +456,22 @@ class Comm:
         c._post_recv(_PostedRecv(dst=self.rank, src=source, tag=tag, event=ev))
         out = engine.event(f"recv-data:{self.rank}")
 
+        obs = c.world.obs
+
         def _complete(trigger: Event) -> None:
             msg: _Msg = trigger.value
             self.stats.record("MPI_Recv", engine.now - start, msg.nbytes)
+            if obs.tracing:
+                obs.tracer.record(
+                    "mpi.MPI_Recv",
+                    cat="mpi.p2p",
+                    track=self.world_rank,
+                    lane=1,
+                    start=start,
+                    end=engine.now,
+                    source=msg.src,
+                    nbytes=msg.nbytes,
+                )
             out.succeed(msg.data)
 
         ev.add_callback(_complete)
@@ -461,6 +495,17 @@ class Comm:
         state = c._enter_collective(self.rank, op, payload)
         results = yield state.event
         self.stats.record(call_name, engine.now - start, sizeof(payload))
+        obs = c.world.obs
+        if obs.tracing:
+            obs.tracer.record(
+                f"mpi.{call_name}",
+                cat="mpi.collective",
+                track=self.world_rank,
+                lane=1,
+                start=start,
+                end=engine.now,
+                comm=c.name,
+            )
         return results[self.rank]
 
     def barrier(self) -> Generator:

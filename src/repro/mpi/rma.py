@@ -107,6 +107,18 @@ class WinHandle:
             raise RMAError(f"unknown lock type {lock_type!r}")
         self._held[target] = lock_type
         self.comm.stats.record("MPI_Win_lock", self.engine.now - start)
+        obs = self.comm.communicator.world.obs
+        if obs.tracing:
+            obs.tracer.record(
+                "rma.lock",
+                cat="mpi.rma",
+                track=self.comm.world_rank,
+                lane=1,
+                start=start,
+                end=self.engine.now,
+                target=target,
+                kind=lock_type,
+            )
 
     def unlock(self, target: int) -> Generator:
         held = self._held.pop(target, None)
@@ -228,6 +240,19 @@ class WinHandle:
         total_bytes = int(sizes.sum())
         yield engine.timeout(max(0.0, finish - issued))
         comm.stats.record("MPI_Get", engine.now - issued, total_bytes)
+        obs = comm.communicator.world.obs
+        if obs.tracing:
+            obs.tracer.record(
+                "rma.get_batch",
+                cat="mpi.rma",
+                track=comm.world_rank,
+                lane=1,
+                start=issued,
+                end=engine.now,
+                n_reads=len(requests),
+                nbytes=total_bytes,
+                n_timeouts=int(timed_out.sum()) if timed_out is not None else 0,
+            )
         return payloads
 
     def put(self, data: np.ndarray | bytes, target: int, offset: int) -> Generator:

@@ -1,0 +1,263 @@
+"""Metrics registry: labelled counters, gauges, and histograms.
+
+One :class:`MetricsRegistry` instance is the canonical home for every
+quantitative signal the system emits — fetch counters, cache hit/miss
+totals, retry/failover tallies, trainer phase seconds, fault-injection
+perturbation counts.  Producers publish *deltas* into named metrics with
+label sets (``rank``, ``stage``, ``transport``, ...); consumers read
+deterministic roll-ups back out with :meth:`MetricsRegistry.sum_by` or
+export everything with :meth:`MetricsRegistry.as_dict`.
+
+Design rules:
+
+* **Get-or-create** — ``registry.counter("x", rank=3)`` always returns the
+  same :class:`Counter` for the same (name, labels) pair, so hot paths can
+  publish without bookkeeping.
+* **Deterministic export** — metrics are keyed by ``(name, sorted label
+  items)``; exports iterate in that sorted order, so two identical runs
+  serialise byte-identically.
+* **Null-object default** — :data:`NULL_METRICS` implements the same
+  surface with shared no-op instruments; code instrumented against it
+  pays one attribute lookup and a truthiness check, nothing else.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_METRICS",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram bucket upper bounds (seconds-oriented log scale).
+DEFAULT_BUCKETS = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0, 100.0,
+)
+
+_LabelKey = tuple[tuple[str, Any], ...]
+
+
+def _label_key(labels: dict[str, Any]) -> _LabelKey:
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """A monotonically increasing sum (ints or floats)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: _LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease ({amount})")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (set/add freely)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: _LabelKey) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, amount: float) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum, for latency-style signals."""
+
+    __slots__ = ("name", "labels", "bounds", "bucket_counts", "count", "sum")
+
+    def __init__(
+        self, name: str, labels: _LabelKey, bounds: Iterable[float] = DEFAULT_BUCKETS
+    ) -> None:
+        self.name = name
+        self.labels = labels
+        self.bounds = tuple(float(b) for b in bounds)
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError(f"histogram bounds must be sorted, got {self.bounds}")
+        self.bucket_counts = [0] * (len(self.bounds) + 1)  # last = +inf
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+
+class MetricsRegistry:
+    """The live registry: get-or-create instruments keyed by name+labels."""
+
+    #: Instrumentation sites check this before doing any label/dict work.
+    enabled = True
+
+    def __init__(self) -> None:
+        self._counters: dict[tuple[str, _LabelKey], Counter] = {}
+        self._gauges: dict[tuple[str, _LabelKey], Gauge] = {}
+        self._histograms: dict[tuple[str, _LabelKey], Histogram] = {}
+
+    # -- instruments ------------------------------------------------------
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = (name, _label_key(labels))
+        inst = self._counters.get(key)
+        if inst is None:
+            inst = self._counters[key] = Counter(name, key[1])
+        return inst
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = (name, _label_key(labels))
+        inst = self._gauges.get(key)
+        if inst is None:
+            inst = self._gauges[key] = Gauge(name, key[1])
+        return inst
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Optional[Iterable[float]] = None,
+        **labels: Any,
+    ) -> Histogram:
+        key = (name, _label_key(labels))
+        inst = self._histograms.get(key)
+        if inst is None:
+            inst = self._histograms[key] = Histogram(
+                name, key[1], bounds=buckets if buckets is not None else DEFAULT_BUCKETS
+            )
+        return inst
+
+    # -- roll-ups ---------------------------------------------------------
+    def total(self, name: str, **label_filter: Any) -> float:
+        """Sum of all counter series called ``name`` matching the filter."""
+        out = 0.0
+        for (n, labels), inst in self._counters.items():
+            if n != name:
+                continue
+            d = dict(labels)
+            if all(d.get(k) == v for k, v in label_filter.items()):
+                out += inst.value
+        return out
+
+    def sum_by(self, name: str, group_label: str, **label_filter: Any) -> dict:
+        """Counter totals of ``name`` grouped by one label's values.
+
+        Series missing the group label are skipped.  Keys come back in
+        sorted order, so roll-ups are deterministic.
+        """
+        groups: dict[Any, float] = {}
+        for (n, labels), inst in self._counters.items():
+            if n != name:
+                continue
+            d = dict(labels)
+            if group_label not in d:
+                continue
+            if not all(d.get(k) == v for k, v in label_filter.items()):
+                continue
+            groups[d[group_label]] = groups.get(d[group_label], 0.0) + inst.value
+        return {k: groups[k] for k in sorted(groups, key=repr)}
+
+    # -- export -----------------------------------------------------------
+    def as_dict(self) -> dict:
+        """Deterministic nested export (stable key ordering)."""
+
+        def series(items, fields):
+            out = []
+            for (name, labels), inst in sorted(items.items()):
+                row = {"name": name, "labels": dict(labels)}
+                row.update({f: getattr(inst, f) for f in fields})
+                out.append(row)
+            return out
+
+        return {
+            "counters": series(self._counters, ("value",)),
+            "gauges": series(self._gauges, ("value",)),
+            "histograms": [
+                dict(
+                    name=name,
+                    labels=dict(labels),
+                    bounds=list(inst.bounds),
+                    bucket_counts=list(inst.bucket_counts),
+                    count=inst.count,
+                    sum=inst.sum,
+                )
+                for (name, labels), inst in sorted(self._histograms.items())
+            ],
+        }
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+
+class _NullInstrument:
+    """Shared do-nothing counter/gauge/histogram."""
+
+    __slots__ = ()
+    value = 0.0
+    count = 0
+    sum = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def add(self, amount: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetricsRegistry:
+    """The zero-overhead default: every instrument is a shared no-op."""
+
+    enabled = False
+
+    def counter(self, name: str, **labels: Any) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, **labels: Any) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, buckets=None, **labels: Any) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def total(self, name: str, **label_filter: Any) -> float:
+        return 0.0
+
+    def sum_by(self, name: str, group_label: str, **label_filter: Any) -> dict:
+        return {}
+
+    def as_dict(self) -> dict:
+        return {"counters": [], "gauges": [], "histograms": []}
+
+    def __len__(self) -> int:
+        return 0
+
+
+NULL_METRICS = NullMetricsRegistry()

@@ -1,0 +1,93 @@
+"""The observability attachment point: one object the whole stack consults.
+
+An :class:`Observer` bundles a :class:`~.metrics.MetricsRegistry` and an
+optional :class:`~.tracing.SpanCollector`.  It is attached to a simulated
+world with ``world.attach_observer(obs)``; every instrumented layer
+(``mpi.comm``, ``mpi.rma``, ``dataplane``, ``core.store``,
+``gnn.trainer``) reaches it through ``world.obs`` and publishes metrics
+deltas and spans into it.
+
+The default is :data:`NULL_OBSERVER` — a shared null object whose
+``metrics`` swallow everything and whose ``span(...)`` hands back one
+reusable no-op context manager.  Instrumented hot paths guard on
+``obs.tracing`` / ``obs.metrics.enabled`` so an unobserved run does no
+label formatting, no dict lookups, and no allocation: the seed behaviour
+is preserved bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from .metrics import NULL_METRICS, MetricsRegistry
+from .tracing import SpanCollector
+
+__all__ = ["Observer", "NULL_OBSERVER"]
+
+
+class Observer:
+    """A live observability session: metrics always, tracing optionally."""
+
+    enabled = True
+
+    def __init__(
+        self,
+        engine=None,
+        *,
+        trace: bool = True,
+        max_events: int = 1_000_000,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer: Optional[SpanCollector] = (
+            SpanCollector(engine, max_events=max_events) if trace else None
+        )
+
+    @property
+    def tracing(self) -> bool:
+        return self.tracer is not None
+
+    def bind(self, engine) -> None:
+        """Point the tracer at the world's virtual clock."""
+        if self.tracer is not None:
+            self.tracer.bind(engine)
+
+    def span(
+        self, name: str, *, cat: str = "", track: int = 0, lane: int = 0, **args: Any
+    ):
+        """Tracing context manager; a shared no-op when tracing is off."""
+        if self.tracer is None:
+            return _NULL_CTX
+        return self.tracer.span(name, cat=cat, track=track, lane=lane, **args)
+
+
+class _NullContext:
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_CTX = _NullContext()
+
+
+class _NullObserver:
+    """The do-nothing default every world starts with."""
+
+    __slots__ = ()
+    enabled = False
+    tracing = False
+    metrics = NULL_METRICS
+    tracer = None
+
+    def bind(self, engine) -> None:
+        pass
+
+    def span(self, name: str, **kwargs: Any) -> _NullContext:
+        return _NULL_CTX
+
+
+NULL_OBSERVER = _NullObserver()

@@ -1,0 +1,160 @@
+"""Traced experiment runs: the engine behind ``python -m repro trace``.
+
+:func:`run_traced` executes one bench-harness experiment cell with a full
+:class:`~.observer.Observer` attached — span tracing through MPI, the
+data plane, the store, and the trainer, plus the canonical metrics
+registry — then runs the critical-path analyzer over the collected spans
+and returns everything a caller needs: the experiment result, the
+observer, the Chrome trace document, and the checked
+:class:`~.critical_path.CriticalPathReport`.
+
+The traceable experiment names are deliberately the figure-shaped cells
+whose analysis depends on per-stage timing (Fig 5's breakdown, Fig 9's
+function durations, the resilience ablation's straggler run).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Callable
+
+from .critical_path import CriticalPathReport, analyze, render_report
+from .observer import Observer
+from .tracing import validate_chrome_trace
+
+__all__ = ["TRACEABLE", "TracedRun", "run_traced", "trace_json_bytes"]
+
+
+def _fig5_cfg(profile):
+    """One Fig-5-style DDStore breakdown cell on Perlmutter."""
+    from ..bench.harness import ExperimentConfig
+
+    return ExperimentConfig(
+        machine="perlmutter",
+        n_nodes=profile.perlmutter_nodes,
+        dataset="aisd-ex-discrete",
+        method="ddstore",
+        batch_size=profile.batch_size,
+        steps_per_epoch=profile.steps_per_epoch,
+    )
+
+
+def _fig9_cfg(profile):
+    """A scaling-sweep cell (smallest node count of the Fig 8/9 sweep)."""
+    from ..bench.harness import ExperimentConfig
+
+    return ExperimentConfig(
+        machine="perlmutter",
+        n_nodes=profile.scaling_nodes[0],
+        dataset="ising",
+        method="ddstore",
+        batch_size=profile.batch_size,
+        steps_per_epoch=profile.steps_per_epoch,
+    )
+
+
+def _resilience_cfg(profile):
+    """The straggler-fault cell with the retry/failover ladder armed."""
+    from ..bench.harness import ExperimentConfig
+
+    return ExperimentConfig(
+        machine="perlmutter",
+        n_nodes=profile.perlmutter_nodes,
+        dataset="ising",
+        method="ddstore",
+        batch_size=profile.batch_size,
+        steps_per_epoch=profile.steps_per_epoch,
+        width=None,
+        fault_plan="straggler-10x",
+        timeout_s=5e-3,
+    )
+
+
+def _p2p_cfg(profile):
+    """The rejected two-sided design, for comparing trace shapes."""
+    from ..bench.harness import ExperimentConfig
+
+    return ExperimentConfig(
+        machine="perlmutter",
+        n_nodes=profile.perlmutter_nodes,
+        dataset="ising",
+        method="ddstore-p2p",
+        batch_size=profile.batch_size,
+        steps_per_epoch=profile.steps_per_epoch,
+    )
+
+
+TRACEABLE: dict[str, tuple[Callable, str]] = {
+    "fig5": (_fig5_cfg, "DDStore breakdown cell (Fig 5 shape)"),
+    "fig9": (_fig9_cfg, "function-duration cell (Fig 9 shape)"),
+    "resilience": (_resilience_cfg, "straggler fault with retry/failover armed"),
+    "p2p": (_p2p_cfg, "two-sided ablation data plane"),
+}
+
+
+@dataclass
+class TracedRun:
+    """Everything one traced experiment produced."""
+
+    name: str
+    result: object  # bench ExperimentResult
+    observer: Observer
+    chrome: dict  # Chrome trace-event JSON document
+    report: CriticalPathReport
+
+    def render(self) -> str:
+        head = [
+            f"traced experiment: {self.name}",
+            f"spans recorded:    {len(self.observer.tracer.spans)}",
+            f"metric series:     {len(self.observer.metrics)}",
+            "",
+        ]
+        return "\n".join(head) + render_report(self.report)
+
+
+def run_traced(
+    name: str,
+    profile=None,
+    *,
+    tolerance: float = 0.01,
+    config=None,
+) -> TracedRun:
+    """Run one traceable experiment cell with an observer attached.
+
+    ``name`` selects from :data:`TRACEABLE` (``config`` overrides it with
+    an explicit :class:`~repro.bench.harness.ExperimentConfig`).  The
+    returned run's report has already been analyzed but not ``check()``ed
+    — callers decide whether a violated invariant is fatal.
+    """
+    from ..bench.experiments import current_profile
+    from ..bench.harness import run_experiment
+
+    if config is None:
+        if name not in TRACEABLE:
+            raise KeyError(
+                f"unknown traceable experiment {name!r}; options: "
+                f"{sorted(TRACEABLE)}"
+            )
+        profile = profile or current_profile()
+        config = TRACEABLE[name][0](profile)
+    observer = Observer(trace=True)
+    result = run_experiment(config, observer=observer)
+    chrome = observer.tracer.to_chrome()
+    problems = validate_chrome_trace(chrome)
+    if problems:
+        raise ValueError(
+            "exported trace failed Chrome trace-event validation: "
+            + "; ".join(problems[:5])
+        )
+    report = analyze(observer.tracer.spans, tolerance=tolerance)
+    return TracedRun(
+        name=name, result=result, observer=observer, chrome=chrome, report=report
+    )
+
+
+def trace_json_bytes(chrome: dict) -> bytes:
+    """Deterministic serialisation of a trace document (stable across
+    reruns of the same experiment — the CI determinism check compares
+    these bytes)."""
+    return json.dumps(chrome, sort_keys=True, separators=(",", ":")).encode()

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Iterator, Optional
+from typing import Any, Iterator
 
 from .engine import Engine
 
@@ -113,20 +113,23 @@ class Tracer:
         return "\n".join(lines)
 
     def to_chrome_trace(self) -> list[dict]:
-        """Events for chrome://tracing / Perfetto (timestamps in us)."""
-        out = []
-        for s in self.spans:
-            entry = dict(
+        """Events for chrome://tracing / Perfetto (timestamps in us).
+
+        Delegates to the unified exporter in :mod:`repro.obs.tracing`
+        (one Chrome-shape emitter for the whole codebase); the lane
+        metadata events are suppressed for back-compat.
+        """
+        from ..obs.tracing import SpanRecord, chrome_trace_events
+
+        records = [
+            SpanRecord(
                 name=s.name,
-                ph="X",
-                ts=s.start * 1e6,
-                dur=s.duration * 1e6,
-                pid=0,
-                tid=dict(s.meta).get("rank", 0),
+                cat="",
+                track=int(dict(s.meta).get("rank", 0)),
+                start=s.start,
+                end=s.end,
+                args=s.meta,
             )
-            if s.meta:
-                entry["args"] = dict(s.meta)
-            out.append(entry)
-        for t, label in self.marks:
-            out.append(dict(name=label, ph="i", ts=t * 1e6, pid=0, tid=0, s="g"))
-        return out
+            for s in self.spans
+        ]
+        return chrome_trace_events(records, self.marks, metadata=False)

@@ -186,6 +186,45 @@ def test_cache_rejects_oversized_payload():
     assert len(cache) == 0
 
 
+def test_cache_accounts_bytes_of_non_uint8_payloads():
+    # Regression: put() used to take nbytes from the *input* array but store
+    # a value-cast uint8 copy — a float64 payload was billed at 1/8 of what
+    # a byte-preserving store needs, and round-tripped with clipped values.
+    cache = SampleCache(capacity_bytes=64)
+    payload = np.array([0.5, 1e9, -3.25, 7.0], dtype=np.float64)  # 32 bytes
+    assert cache.put(1, payload) is True
+    assert cache.used_bytes == 32
+    got = cache.get(1)
+    assert got is not None and got.dtype == np.uint8 and got.nbytes == 32
+    assert np.array_equal(got.view(np.float64), payload)
+
+
+def test_cache_duplicate_put_refreshes_payload():
+    # Regression: a duplicate-key put used to double-bill used_bytes while
+    # keeping the stale payload.
+    cache = SampleCache(capacity_bytes=64)
+    cache.put(1, np.zeros(16, np.uint8))
+    newer = np.arange(8, dtype=np.uint8)
+    assert cache.put(1, newer) is True
+    assert np.array_equal(cache.get(1), newer)
+    assert cache.used_bytes == 8
+    assert len(cache) == 1
+    assert cache.stats.insertions == 1  # a refresh is not a new entry
+
+
+def test_cache_clear_keeps_stats_invariant():
+    cache = SampleCache(capacity_bytes=64)
+    cache.put(1, np.zeros(16, np.uint8))
+    cache.put(2, np.zeros(8, np.uint8))
+    cache.clear()
+    assert len(cache) == 0 and cache.used_bytes == 0
+    assert cache.stats.insertions - cache.stats.evictions == len(cache)
+    assert cache.stats.evicted_bytes == 24
+    # The cache stays usable after a clear.
+    assert cache.put(3, np.zeros(4, np.uint8)) is True
+    assert cache.used_bytes == 4
+
+
 # ---------------------------------------------------------------------------
 # transport registry
 # ---------------------------------------------------------------------------

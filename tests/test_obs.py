@@ -1,0 +1,298 @@
+"""Observability-layer tests: metrics registry, span tracing with Chrome
+export, the critical-path analyzer, and the traced-run integration
+(``python -m repro trace``)."""
+
+import json
+
+import pytest
+
+from repro.bench.experiments import _PROFILES
+from repro.obs import (
+    NULL_METRICS,
+    NULL_OBSERVER,
+    CriticalPathError,
+    MetricsRegistry,
+    Observer,
+    SpanCollector,
+    SpanRecord,
+    analyze,
+    run_traced,
+    stage_spans_contiguous,
+    trace_json_bytes,
+    validate_chrome_trace,
+)
+from repro.sim import Engine
+
+TINY = _PROFILES["tiny"]
+
+
+# ---------------------------------------------------------------------------
+# metrics registry
+# ---------------------------------------------------------------------------
+
+def test_counter_get_or_create_label_order_independent():
+    m = MetricsRegistry()
+    m.counter("fetch", rank=0, counter="n_local").inc(3)
+    m.counter("fetch", counter="n_local", rank=0).inc(2)  # same series
+    m.counter("fetch", rank=1, counter="n_local").inc(5)
+    assert m.counter("fetch", rank=0, counter="n_local").value == 5
+    assert m.total("fetch") == 10
+    assert m.total("fetch", rank=1) == 5
+    assert m.sum_by("fetch", "rank") == {0: 5.0, 1: 5.0}
+    assert m.sum_by("fetch", "rank", counter="nope") == {}
+
+
+def test_counter_is_monotone():
+    m = MetricsRegistry()
+    with pytest.raises(ValueError):
+        m.counter("x").inc(-1)
+
+
+def test_gauge_and_histogram():
+    m = MetricsRegistry()
+    g = m.gauge("cache.used_bytes", rank=0)
+    g.set(100)
+    g.add(-25)
+    assert g.value == 75
+    h = m.histogram("latency", rank=0)
+    for v in (1e-7, 5e-4, 2.0, 1e6):
+        h.observe(v)
+    assert h.count == 4
+    assert h.bucket_counts[-1] == 1  # the +inf overflow bucket
+    assert h.sum == pytest.approx(1e-7 + 5e-4 + 2.0 + 1e6)
+
+
+def test_export_deterministic_across_insertion_order():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.counter("f", rank=0).inc(1)
+    a.counter("f", rank=1).inc(2)
+    b.counter("f", rank=1).inc(2)
+    b.counter("f", rank=0).inc(1)
+    assert json.dumps(a.as_dict(), sort_keys=True) == json.dumps(
+        b.as_dict(), sort_keys=True
+    )
+
+
+def test_null_registry_swallows_everything():
+    assert not NULL_METRICS.enabled
+    NULL_METRICS.counter("x", rank=3).inc(7)
+    NULL_METRICS.gauge("y").set(1)
+    NULL_METRICS.histogram("z").observe(0.5)
+    assert NULL_METRICS.total("x") == 0.0
+    assert NULL_METRICS.sum_by("x", "rank") == {}
+    assert len(NULL_METRICS) == 0
+
+
+def test_null_observer_is_inert():
+    assert not NULL_OBSERVER.enabled
+    assert not NULL_OBSERVER.tracing
+    with NULL_OBSERVER.span("anything", cat="x", track=9):
+        pass  # shared no-op context manager
+
+
+# ---------------------------------------------------------------------------
+# span collector + Chrome export
+# ---------------------------------------------------------------------------
+
+def test_span_collector_measures_virtual_time():
+    eng = Engine()
+    col = SpanCollector(eng)
+
+    def proc():
+        with col.span("load", cat="store", track=2, lane=1, n=4):
+            yield eng.timeout(0.5)
+
+    eng.process(proc())
+    eng.run()
+    (s,) = col.spans
+    assert s.duration == pytest.approx(0.5)
+    assert (s.track, s.lane, s.cat) == (2, 1, "store")
+    assert dict(s.args) == {"n": 4}
+
+
+def test_chrome_export_is_valid_and_scaled_to_us():
+    col = SpanCollector()
+    col.record("fetch", cat="store", track=1, start=0.0, end=1e-3, lane=1, k="v")
+    doc = col.to_chrome()
+    assert validate_chrome_trace(doc) == []
+    (ev,) = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert ev["ts"] == 0.0
+    assert ev["dur"] == pytest.approx(1000.0)
+    assert (ev["pid"], ev["tid"]) == (1, 1)
+    assert ev["args"] == {"k": "v"}
+    # Lane metadata names the dataplane lane.
+    meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+    assert meta[0]["args"]["name"] == "dataplane"
+
+
+def test_validate_chrome_trace_catches_malformed_docs():
+    assert validate_chrome_trace(42)
+    assert validate_chrome_trace({"notTraceEvents": []})
+    assert validate_chrome_trace({"traceEvents": []})  # empty is a problem
+    bad_ts = {"traceEvents": [dict(name="x", ph="X", ts=-1.0, dur=1.0, pid=0, tid=0)]}
+    assert any("ts" in p for p in validate_chrome_trace(bad_ts))
+    bad_ph = {"traceEvents": [dict(name="x", ph="Q", ts=0.0, pid=0, tid=0)]}
+    assert any("phase" in p for p in validate_chrome_trace(bad_ph))
+
+
+def test_collector_drops_beyond_max_events():
+    col = SpanCollector(max_events=2)
+    for i in range(5):
+        col.record("s", cat="c", track=0, start=0.0, end=1.0)
+    assert len(col.spans) == 2
+    assert col.dropped == 3
+
+
+# ---------------------------------------------------------------------------
+# critical-path analyzer
+# ---------------------------------------------------------------------------
+
+def _tiled_epoch(stages, start=0.0, track=0, epoch=0):
+    """Stage spans laid back to back plus the enclosing epoch span."""
+    spans = []
+    t = start
+    for name, sec in stages:
+        spans.append(
+            SpanRecord(name=name, cat="trainer.stage", track=track, start=t, end=t + sec)
+        )
+        t += sec
+    spans.append(
+        SpanRecord(
+            name="epoch",
+            cat="trainer.epoch",
+            track=track,
+            start=start,
+            end=t,
+            args=(("epoch", epoch),),
+        )
+    )
+    return spans, t
+
+
+def test_analyzer_accepts_exact_tiling():
+    stages = [("data_wait", 0.2), ("gpu_forward", 0.5), ("gpu_comm", 0.3)]
+    spans, _t = _tiled_epoch(stages)
+    more, _ = _tiled_epoch(stages, start=10.0, track=1, epoch=0)
+    report = analyze(spans + more, tolerance=0.01)
+    assert report.ok
+    assert report.max_rel_residual == pytest.approx(0.0)
+    assert report.stage_totals() == {
+        "data_wait": pytest.approx(0.4),
+        "gpu_comm": pytest.approx(0.6),
+        "gpu_forward": pytest.approx(1.0),
+    }
+    report.check()  # must not raise
+    assert stage_spans_contiguous(spans + more, track=0)
+    assert stage_spans_contiguous(spans + more, track=1)
+
+
+def test_analyzer_flags_unattributed_time():
+    spans, t = _tiled_epoch([("gpu_forward", 0.5)])
+    # Stretch the epoch: 0.5s of virtual time no stage accounts for.
+    leaked = [s for s in spans if s.cat == "trainer.stage"]
+    leaked.append(
+        SpanRecord(name="epoch", cat="trainer.epoch", track=0, start=0.0, end=t + 0.5)
+    )
+    report = analyze(leaked, tolerance=0.01)
+    assert not report.ok
+    assert len(report.violations()) == 1
+    with pytest.raises(CriticalPathError, match="residual"):
+        report.check()
+
+
+def test_analyzer_requires_epoch_spans():
+    with pytest.raises(ValueError, match="trainer.epoch"):
+        analyze([SpanRecord(name="x", cat="other", track=0, start=0.0, end=1.0)])
+
+
+def test_stage_spans_contiguous_detects_gap():
+    spans = [
+        SpanRecord(name="a", cat="trainer.stage", track=0, start=0.0, end=0.4),
+        SpanRecord(name="b", cat="trainer.stage", track=0, start=0.6, end=1.0),
+        SpanRecord(name="epoch", cat="trainer.epoch", track=0, start=0.0, end=1.0),
+    ]
+    assert not stage_spans_contiguous(spans, track=0)
+
+
+# ---------------------------------------------------------------------------
+# traced-run integration (the acceptance criterion: a traced fig5-style run
+# exports valid Chrome JSON whose per-stage attribution sums to the measured
+# epoch time within 1%, bit-deterministically across reruns)
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def traced_fig5():
+    return run_traced("fig5", TINY)
+
+
+def test_traced_run_exports_valid_chrome_json(traced_fig5):
+    doc = json.loads(trace_json_bytes(traced_fig5.chrome).decode())
+    assert validate_chrome_trace(doc) == []
+    names = {e["name"] for e in doc["traceEvents"]}
+    # Spans from every instrumented layer made it into one trace.
+    assert "epoch" in names  # trainer
+    assert "store.get_samples" in names  # store
+    assert "rma.get_batch" in names  # rma transport
+    assert any(n.startswith("mpi.MPI_") for n in names)  # collectives
+
+
+def test_traced_run_attribution_sums_to_epoch_time(traced_fig5):
+    report = traced_fig5.report
+    assert report.epochs, "no epochs analyzed"
+    assert report.ok, f"worst residual {report.max_rel_residual}"
+    assert report.max_rel_residual <= 0.01
+    report.check()
+    for track in traced_fig5.observer.tracer.tracks():
+        epoch_spans = [
+            s for s in traced_fig5.observer.tracer.spans
+            if s.cat == "trainer.epoch" and s.track == track
+        ]
+        if epoch_spans:
+            assert stage_spans_contiguous(
+                traced_fig5.observer.tracer.spans, track=track
+            )
+
+
+def test_traced_run_is_bit_deterministic(traced_fig5):
+    rerun = run_traced("fig5", TINY)
+    assert trace_json_bytes(rerun.chrome) == trace_json_bytes(traced_fig5.chrome)
+
+
+def test_traced_run_metrics_match_result_counters(traced_fig5):
+    m = traced_fig5.observer.metrics
+    fc = traced_fig5.result.fetch_counters
+    # The registry is the canonical owner; the bench roll-up is a view of it.
+    assert fc["n_remote"] == int(m.total("ddstore.fetch", counter="n_remote"))
+    assert fc["n_local"] == int(m.total("ddstore.fetch", counter="n_local"))
+    n_ranks = traced_fig5.result.config.n_ranks
+    # Every rank trained and published its phase seconds.
+    assert len(m.sum_by("trainer.phase_seconds", "rank")) == n_ranks
+
+
+def test_traced_run_render_mentions_invariant(traced_fig5):
+    text = traced_fig5.render()
+    assert "critical-path attribution" in text
+    assert "invariant" in text and "OK" in text
+
+
+def test_resilience_trace_shows_retry_attempts():
+    run = run_traced("resilience", TINY)
+    names = {s.name for s in run.observer.tracer.spans}
+    assert "fetch.attempt" in names  # per-attempt dataplane spans
+    assert run.report.ok
+    m = run.observer.metrics
+    # The straggler fault perturbed traffic and the counters saw it.
+    assert m.total("faults.n_perturbed") > 0
+
+
+def test_run_traced_rejects_unknown_name():
+    with pytest.raises(KeyError, match="unknown traceable"):
+        run_traced("not-an-experiment", TINY)
+
+
+def test_untraced_observer_attaches_metrics_only():
+    obs = Observer(trace=False)
+    assert not obs.tracing
+    assert obs.metrics.enabled
+    with obs.span("x"):
+        pass  # no tracer: shared no-op context
