@@ -1,0 +1,50 @@
+"""Ablation — epoch-ahead fetch scheduling on a fetch-bound workload.
+
+Sweeps prefetch depth k in {1, 2, 4, 8} over three pipeline shapes: the
+plain depth-k pipeline (concurrent per-batch ``get_samples``), and wave
+scheduling (one cross-batch fetch plan + one lock epoch per target per
+wave) with the LRU and Belady (farthest-reuse) cache policies.  Asserts
+the acceptance bar: depth-4 waves/Belady beats the depth-1 seed
+pipeline, Belady never demand-misses a prefetched epoch, overlap
+efficiency is reported, and reruns are bit-deterministic.
+"""
+
+from conftest import run_once
+
+from repro.bench import write_report
+from repro.bench.ablations import ablation_prefetch
+
+
+def test_ablation_prefetch(benchmark, profile):
+    text, data = run_once(benchmark, ablation_prefetch, profile)
+    write_report("ablation_prefetch", text, data)
+
+    cells = data["cells"]
+    base = cells["depth1 plain"]
+    best = cells["depth4 waves/belady"]
+
+    # Depth-k prefetch with wave scheduling and farthest-reuse caching
+    # must beat the seed depth-1 pipeline on this fetch-bound cell.
+    assert data["checks"]["depth4_not_slower"]
+    assert best["elapsed"] < base["elapsed"]
+    assert data["speedup_depth4_belady"] > 1.0
+
+    # The wave path replaces demand fetches with cache hits; with the
+    # future-fed Belady policy no prefetched sample is ever evicted
+    # before its use, so demand remote fetches drop to zero.
+    assert best["counters"]["n_prefetched"] > 0
+    assert best["counters"]["n_cache_hits"] > 0
+    assert best["counters"].get("n_remote", 0) == 0
+    # LRU lacks the future and may evict soon-needed samples.
+    lru = cells["depth4 waves/lru"]
+    assert best["counters"].get("n_remote", 0) <= lru["counters"].get("n_remote", 0)
+
+    # Overlap accounting: deeper pipelines hide more of the load time.
+    assert 0.0 <= base["overlap_efficiency"] <= 1.0
+    assert 0.0 <= best["overlap_efficiency"] <= 1.0
+    assert cells["depth4 plain"]["overlap_efficiency"] > base["overlap_efficiency"]
+    assert "overlap_efficiency" in data
+
+    # Bit-determinism of the scheduled pipeline (two fresh simulations of
+    # the depth-4 waves/Belady cell agree exactly).
+    assert data["checks"]["deterministic"]

@@ -100,6 +100,11 @@ class ExperimentConfig:
     n_workers: int = 1  # effective concurrent loader workers per rank
     cache_bytes: int = 0  # DDStore hot-sample cache budget (0 = off)
     coalesce: bool = True  # DDStore fetch-request coalescing
+    # epoch-ahead data-plane scheduling (see DataPlaneOptions)
+    prefetch_depth: int = 1  # batches kept in flight ahead of compute
+    prefetch_budget_bytes: Optional[int] = None  # in-flight byte cap
+    scheduler: bool = False  # wave scheduling (needs cache_bytes > 0)
+    cache_policy: str = "lru"  # "lru" or "belady"
     # fault injection + resilience (see repro.faults / ResilienceOptions)
     fault_plan: Optional[str] = None  # named plan, e.g. "straggler-10x"
     timeout_s: Optional[float] = None  # per-read fetch timeout (None = off)
@@ -135,6 +140,10 @@ class ExperimentConfig:
                 framework="p2p" if self.method == "ddstore-p2p" else "mpi-rma",
                 cache_bytes=self.cache_bytes,
                 coalesce=self.coalesce,
+                prefetch_depth=self.prefetch_depth,
+                prefetch_budget_bytes=self.prefetch_budget_bytes,
+                scheduler=self.scheduler,
+                cache_policy=self.cache_policy,
             ),
             resilience=ResilienceOptions(
                 timeout_s=self.timeout_s,
@@ -168,6 +177,8 @@ class ExperimentResult:
     train_losses: list = field(default_factory=list)
     fetch_stages: dict = field(default_factory=dict)  # mean seconds/rank by stage
     fetch_counters: dict = field(default_factory=dict)  # summed across ranks
+    data_wait: float = 0.0  # mean un-overlapped load stall per rank (s)
+    overlap_efficiency: float = 0.0  # hidden-load-time / total-load-time
 
     @property
     def throughput(self) -> float:
@@ -345,11 +356,13 @@ def _rank_main(ctx, cfg: ExperimentConfig, blobs: list[bytes]):
     latencies = []
     losses = []
     n_samples = 0
+    data_wait = 0.0
     for epoch in range(cfg.epochs):
         report = yield from trainer.train_epoch(epoch)
         phases = phases.merged(report.phases)
         latencies.append(report.sample_latencies)
         n_samples += report.n_samples
+        data_wait += report.data_wait
         if report.train_loss is not None:
             losses.append(report.train_loss)
     if store is not None and cfg.method == "ddstore-p2p":
@@ -362,6 +375,7 @@ def _rank_main(ctx, cfg: ExperimentConfig, blobs: list[bytes]):
         latencies=np.concatenate(latencies) if latencies else np.empty(0),
         preload=preload_time,
         losses=losses,
+        data_wait=data_wait,
     )
 
 
@@ -422,10 +436,26 @@ def run_experiment(cfg: ExperimentConfig, observer=None) -> ExperimentResult:
     fetch_counters: dict[str, int] = {}
     if cfg.method in ("ddstore", "ddstore-p2p"):
         # Same shape the old store.stats plumbing produced: every canonical
-        # counter present, zero-filled, summed across ranks.
+        # counter present, zero-filled, summed across ranks.  Wave-prefetch
+        # traffic reports under its own metric family; its wire reads are
+        # *not* in "ddstore.fetch", so adding both families counts each
+        # read exactly once.
         fetch_counters = dict.fromkeys(FetchStats().counters(), 0)
         for k, v in m.sum_by("ddstore.fetch", "counter").items():
             fetch_counters[k] = int(v)
+        for k, v in m.sum_by("ddstore.prefetch", "counter").items():
+            fetch_counters[k] = fetch_counters.get(k, 0) + int(v)
+    # Overlap efficiency pooled over ranks: the loading pipeline's total
+    # cost is cpu_loading + cpu_batching (already accumulated per rank);
+    # whatever was not stalled on (data_wait) was hidden under compute.
+    load_totals = [
+        r["phases"].seconds["cpu_loading"] + r["phases"].seconds["cpu_batching"]
+        for r in per_rank
+    ]
+    hidden_total = sum(
+        max(0.0, lt - r["data_wait"]) for lt, r in zip(load_totals, per_rank)
+    )
+    load_total = sum(load_totals)
     return ExperimentResult(
         config=cfg,
         elapsed=elapsed,
@@ -437,4 +467,6 @@ def run_experiment(cfg: ExperimentConfig, observer=None) -> ExperimentResult:
         train_losses=per_rank[0]["losses"],
         fetch_stages=fetch_stages,
         fetch_counters=fetch_counters,
+        data_wait=sum(r["data_wait"] for r in per_rank) / n_ranks,
+        overlap_efficiency=hidden_total / load_total if load_total > 0 else 0.0,
     )

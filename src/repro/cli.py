@@ -43,6 +43,7 @@ from .bench.ablations import (
     ablation_conv_policy,
     ablation_dataplane,
     ablation_nvme,
+    ablation_prefetch,
     ablation_resilience,
     ablation_shuffle,
     ablation_workers,
@@ -64,6 +65,7 @@ EXPERIMENTS: dict[str, tuple[Callable, str]] = {
     "fig13": (fig13_convergence, "training convergence (real numerics)"),
     "ablation-dataplane": (ablation_dataplane, "RMA vs two-sided p2p"),
     "ablation-coalescing": (ablation_coalescing, "fetch coalescing + hot-sample cache"),
+    "ablation-prefetch": (ablation_prefetch, "epoch-ahead scheduler: depth-k x waves x eviction"),
     "ablation-shuffle": (ablation_shuffle, "global vs local shuffle"),
     "ablation-nvme": (ablation_nvme, "NVMe staging vs DDStore"),
     "ablation-workers": (ablation_workers, "loader-worker sensitivity"),
@@ -95,11 +97,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
         print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
         return 2
+    failed: list[str] = []
     for name in names:
         fn, desc = EXPERIMENTS[name]
         print(f"== {name}: {desc} (scale profile: {profile.name}) ==")
         text, data = fn() if name in _NO_PROFILE else fn(profile)
         write_report(name.replace("-", "_"), text, data)
+        if args.check:
+            checks = data.get("checks", {}) if isinstance(data, dict) else {}
+            bad = [k for k, ok in checks.items() if not ok]
+            if bad:
+                print(f"[check] {name} FAILED: {', '.join(bad)}", file=sys.stderr)
+                failed.append(name)
+            elif checks:
+                print(f"[check] {name}: all {len(checks)} check(s) pass")
+    if failed:
+        return 1
     return 0
 
 
@@ -190,6 +203,11 @@ def main(argv: list[str] | None = None) -> int:
     run = sub.add_parser("run", help="run one or more experiments")
     run.add_argument("names", nargs="+", help="experiment names, or 'all'")
     run.add_argument("--scale", choices=["tiny", "small", "paper"], default=None)
+    run.add_argument(
+        "--check",
+        action="store_true",
+        help="exit nonzero if an experiment's self-checks (data['checks']) fail",
+    )
     run.set_defaults(fn=_cmd_run)
 
     sub.add_parser("machines", help="show calibrated machine models").set_defaults(

@@ -50,13 +50,34 @@ class DataPlaneOptions:
     """How bytes move: transport selection and fetch-path tuning.
 
     All defaults are seed-equivalent: ``mpi-rma`` with coalescing on, no
-    read-size cap, and the hot-sample cache disabled.
+    read-size cap, the hot-sample cache disabled, and a depth-1 prefetch
+    pipeline (no epoch-ahead scheduling).
+
+    The epoch-ahead knobs:
+
+    * ``prefetch_depth`` — how many batches the trainer keeps in flight
+      ahead of compute (1 = the seed pipeline, bit-stable),
+    * ``prefetch_budget_bytes`` — cap on the estimated bytes of batches in
+      flight; the head-of-line batch always launches so the pipeline can
+      never deadlock (``None`` = unbounded),
+    * ``scheduler`` — enable epoch-ahead *wave* scheduling: upcoming
+      batches are grouped into waves whose remote samples are planned and
+      fetched together (one lock epoch per target per wave, cross-batch
+      dedup/coalescing) and parked in the sample cache, so
+      ``scheduler=True`` requires ``cache_bytes > 0``,
+    * ``cache_policy`` — ``"lru"`` (default) or ``"belady"``
+      (farthest-reuse eviction against the known epoch access sequence;
+      falls back to LRU order until a future sequence is supplied).
     """
 
     framework: str = "mpi-rma"
     coalesce: bool = True
     max_read_bytes: Optional[int] = None
     cache_bytes: int = 0
+    prefetch_depth: int = 1
+    prefetch_budget_bytes: Optional[int] = None
+    scheduler: bool = False
+    cache_policy: str = "lru"
 
     def __post_init__(self) -> None:
         # Lazy import: repro.dataplane registers the built-in transports on
@@ -73,6 +94,24 @@ class DataPlaneOptions:
         if self.max_read_bytes is not None and self.max_read_bytes < 1:
             raise ValueError(
                 f"max_read_bytes must be positive, got {self.max_read_bytes}"
+            )
+        if self.prefetch_depth < 1:
+            raise ValueError(
+                f"prefetch_depth must be >= 1, got {self.prefetch_depth}"
+            )
+        if self.prefetch_budget_bytes is not None and self.prefetch_budget_bytes < 1:
+            raise ValueError(
+                f"prefetch_budget_bytes must be positive, got "
+                f"{self.prefetch_budget_bytes}"
+            )
+        if self.cache_policy not in ("lru", "belady"):
+            raise ValueError(
+                f"cache_policy must be 'lru' or 'belady', got {self.cache_policy!r}"
+            )
+        if self.scheduler and self.cache_bytes <= 0:
+            raise ValueError(
+                "scheduler=True parks wave-prefetched samples in the sample "
+                "cache and therefore requires cache_bytes > 0"
             )
 
 

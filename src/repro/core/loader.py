@@ -97,6 +97,18 @@ class DDStoreDataset:
         self.n_workers = max(1, n_workers)
         self.n_samples = store.n_samples
 
+    def estimate_nbytes(self, indices: Sequence[int]) -> int:
+        """Packed-payload bytes of a batch (registry lookup; no simulation
+        time) — the scheduler's in-flight budget meter."""
+        return self.store.batch_nbytes(indices)
+
+    def prefetch(self, batch_indices: Sequence[Sequence[int]]) -> Generator:
+        """Coroutine: wave-prefetch upcoming batches into the store cache."""
+        fetched = yield from self.store.prefetch_wave(
+            batch_indices, n_workers=self.n_workers
+        )
+        return fetched
+
     def fetch(self, indices: Sequence[int]) -> Generator:
         engine = self.store.comm.engine
         t0 = engine.now
@@ -225,6 +237,24 @@ class DataLoader:
         self.steps_per_epoch = steps_per_epoch
         sampler_cls = GlobalShuffleSampler if shuffle == "global" else LocalShuffleSampler
         self.sampler = sampler_cls(dataset.n_samples, ctx.size, ctx.rank, seed=seed)
+
+    @property
+    def n_workers(self) -> int:
+        """The dataset's configured loader-worker count (1 when the
+        backend has no worker model)."""
+        return getattr(self.dataset, "n_workers", 1)
+
+    def dataplane_options(self):
+        """The store's :class:`~repro.core.config.DataPlaneOptions`, or
+        ``None`` for backends without a store (file baselines) — how the
+        trainer discovers its prefetch depth/budget/scheduler knobs."""
+        store = getattr(self.dataset, "store", None)
+        return store.config.dataplane if store is not None else None
+
+    def sample_cache(self):
+        """The store's hot-sample cache (``None`` without a store)."""
+        store = getattr(self.dataset, "store", None)
+        return store.cache if store is not None else None
 
     def n_steps(self) -> int:
         full = self.sampler.per_rank // self.batch_size

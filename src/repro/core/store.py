@@ -92,8 +92,16 @@ class FetchStats:
     n_timeouts: int = 0  # wire reads that blew their deadline
     n_retries: int = 0  # wire reads re-issued after a timeout
     n_failovers: int = 0  # retries re-routed to another replica group
+    # epoch-ahead scheduler counters (zero unless scheduler waves run)
+    n_prefetch_waves: int = 0  # prefetch_wave calls that hit the wire
+    n_prefetched: int = 0  # distinct samples parked in the cache by waves
+    bytes_prefetched: int = 0  # deduplicated wire bytes moved by waves
     # virtual seconds spent per fetch stage (keys from FETCH_STAGES)
     stage_seconds: dict[str, float] = field(default_factory=dict)
+    # wave-prefetch stage seconds, kept apart from the demand-fetch path:
+    # wave time overlaps compute, so folding it into stage_seconds would
+    # double-charge the breakdown figures.
+    prefetch_stage_seconds: dict[str, float] = field(default_factory=dict)
 
     @property
     def n_total(self) -> int:
@@ -102,6 +110,12 @@ class FetchStats:
     def add_stage(self, stage: str, seconds: float) -> None:
         if seconds:
             self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
+
+    def add_prefetch_stage(self, stage: str, seconds: float) -> None:
+        if seconds:
+            self.prefetch_stage_seconds[stage] = (
+                self.prefetch_stage_seconds.get(stage, 0.0) + seconds
+            )
 
     def counters(self) -> dict[str, int]:
         """The integer counters as a dict (for the bench layer)."""
@@ -119,6 +133,9 @@ class FetchStats:
             n_timeouts=self.n_timeouts,
             n_retries=self.n_retries,
             n_failovers=self.n_failovers,
+            n_prefetch_waves=self.n_prefetch_waves,
+            n_prefetched=self.n_prefetched,
+            bytes_prefetched=self.bytes_prefetched,
         )
 
     def latency_array(self) -> np.ndarray:
@@ -155,7 +172,9 @@ class DDStore:
             coalesce=config.coalesce and transport.supports_coalescing,
             max_read_bytes=config.max_read_bytes,
         )
-        self.cache = SampleCache(config.cache_bytes)
+        self.cache = SampleCache(
+            config.cache_bytes, policy=config.dataplane.cache_policy
+        )
         machine = comm.communicator.world.machine
         self._machine = machine
         self._local_copy_base = machine.intra_node_latency_s
@@ -284,6 +303,15 @@ class DDStore:
         """Back-compat: the RMA window handle, when the transport has one."""
         return getattr(self.transport, "win", None)
 
+    def batch_nbytes(self, indices: Sequence[int]) -> int:
+        """Total packed bytes of ``indices`` — free (registry lookup only);
+        the prefetch scheduler uses it to meter its in-flight byte budget."""
+        idx = np.asarray(list(indices), dtype=np.int64)
+        if idx.size == 0:
+            return 0
+        _, _, sizes = self.registry.locate_batch(idx)
+        return int(sizes.sum())
+
     def _local_buffer_view(self) -> np.ndarray:
         return self.transport.local_buffer()
 
@@ -318,7 +346,16 @@ class DDStore:
         stats = self.stats
         obs = self.comm.communicator.world.obs
         track = self.comm.world_rank
-        stage_before = dict(stats.stage_seconds) if obs.metrics.enabled else None
+        # Per-call stage accounting: with depth-k prefetch several
+        # get_samples coroutines interleave, so metric deltas must come
+        # from this call's own charges, not a snapshot of the shared dict.
+        call_stages: dict[str, float] = {}
+
+        def charge(stage: str, seconds: float) -> None:
+            if seconds:
+                stats.add_stage(stage, seconds)
+                call_stages[stage] = call_stages.get(stage, 0.0) + seconds
+
         t_start = engine.now
         owners, offsets, sizes = self.registry.locate_batch(idx)
         me = self.group_comm.rank
@@ -380,7 +417,7 @@ class DDStore:
             plan_s = _PLAN_BASE_S + _PLAN_S_PER_REQ * int(fetch_positions.size)
             t_plan = engine.now
             yield engine.timeout(plan_s)
-            stats.add_stage("plan", plan_s)
+            charge("plan", plan_s)
             if obs.tracing:
                 obs.tracer.record(
                     "store.plan",
@@ -431,7 +468,7 @@ class DDStore:
                 )
             self._scatter(plan, outcome, blobs, latencies)
             for stage, seconds in outcome.stage_seconds.items():
-                stats.add_stage(stage, seconds)
+                charge(stage, seconds)
             if self.cache.enabled:
                 for p in fetch_positions:
                     self.cache.put(int(idx[p]), blobs[p])
@@ -440,7 +477,7 @@ class DDStore:
             local_wait = local_time / max(1, n_workers)
             t_copy = engine.now
             yield engine.timeout(local_wait)
-            stats.add_stage("copy", local_wait)
+            charge("copy", local_wait)
             if obs.tracing:
                 obs.tracer.record(
                     "store.copy",
@@ -455,7 +492,7 @@ class DDStore:
             cache_wait = cache_time / max(1, n_workers)
             t_cache = engine.now
             yield engine.timeout(cache_wait)
-            stats.add_stage("cache", cache_wait)
+            charge("cache", cache_wait)
             if obs.tracing:
                 obs.tracer.record(
                     "store.cache",
@@ -479,7 +516,7 @@ class DDStore:
             decode_wait = float(dec.sum()) / max(1, n_workers)
             t_decode = engine.now
             yield engine.timeout(decode_wait)
-            stats.add_stage("decode", decode_wait)
+            charge("decode", decode_wait)
             if obs.tracing:
                 obs.tracer.record(
                     "store.decode",
@@ -545,12 +582,10 @@ class DDStore:
             ):
                 if val:
                     m.counter("ddstore.fetch", counter=cname, rank=track).inc(val)
-            for stage, seconds in stats.stage_seconds.items():
-                d_sec = seconds - stage_before.get(stage, 0.0)
-                if d_sec:
-                    m.counter(
-                        "ddstore.stage_seconds", stage=stage, rank=track
-                    ).inc(d_sec)
+            for stage, seconds in call_stages.items():
+                m.counter(
+                    "ddstore.stage_seconds", stage=stage, rank=track
+                ).inc(seconds)
         if obs.tracing:
             obs.tracer.record(
                 "store.get_samples",
@@ -565,6 +600,149 @@ class DDStore:
                 n_cache_hits=d_hits,
             )
         return graphs
+
+    def prefetch_wave(
+        self, batch_indices: Sequence[Sequence[int]], n_workers: int = 1
+    ) -> Generator:
+        """Fetch a *wave* of upcoming batches' remote samples into the cache.
+
+        ``batch_indices`` is one index sequence per scheduled batch.  The
+        whole wave is planned as a single cross-batch window
+        (:meth:`~repro.dataplane.FetchPlanner.plan_batches`): a sample id
+        appearing in several of the wave's batches is fetched once, byte
+        ranges coalesce across batch boundaries, and the transport executes
+        the wave with **one lock epoch per target** instead of one per
+        ``get_samples`` call.  Payloads are parked in the hot-sample cache,
+        so the subsequent per-batch ``get_samples`` calls are cache hits.
+
+        Requires an enabled cache (the epoch-ahead scheduler guarantees
+        this via config validation).  Already-cached, local, and zero-size
+        samples are skipped.  Returns the number of distinct samples
+        fetched.  Rides the same retry/failover ladder as the demand path.
+        """
+        if self._closed:
+            raise StoreClosedError(
+                "this DDStore handle has been closed/shut down; create a new "
+                "store (or reshard) before prefetching samples"
+            )
+        if not self.cache.enabled:
+            return 0
+        engine = self.comm.engine
+        stats = self.stats
+        obs = self.comm.communicator.world.obs
+        track = self.comm.world_rank
+        me = self.group_comm.rank
+        t_start = engine.now
+
+        groups = []
+        keys: list[int] = []
+        seen: set[int] = set()
+        for batch in batch_indices:
+            idx = np.asarray(list(batch), dtype=np.int64)
+            if idx.size == 0:
+                continue
+            owners, offsets, sizes = self.registry.locate_batch(idx)
+            want = []
+            for p in range(idx.size):
+                key = int(idx[p])
+                if (
+                    owners[p] == me
+                    or sizes[p] == 0
+                    or key in seen
+                    or key in self.cache
+                ):
+                    continue
+                seen.add(key)
+                want.append(p)
+                keys.append(key)
+            if want:
+                w = np.asarray(want, dtype=np.int64)
+                groups.append(
+                    (owners[w] + self._group_base, offsets[w], sizes[w])
+                )
+        if not groups:
+            return 0
+
+        plan = self.planner.plan_batches(groups)
+        plan_s = _PLAN_BASE_S + _PLAN_S_PER_REQ * plan.n_requests
+        yield engine.timeout(plan_s)
+        stats.add_prefetch_stage("plan", plan_s)
+
+        # One issuing stream per wave batch (times the per-batch worker
+        # count): the wave replaces that many concurrent ``get_samples``
+        # pipelines, so it gets the same software-path concurrency.
+        n_streams = max(1, n_workers) * len(groups)
+
+        res = self.config.resilience
+        d_timeouts = d_retries = d_failovers = 0
+        if res.enabled:
+            reroute = (
+                self._reroute if res.failover and self.n_replicas > 1 else None
+            )
+            retry_out = yield from fetch_with_retry(
+                self.transport,
+                plan.reads,
+                policy=RetryPolicy.from_options(res),
+                engine=engine,
+                n_streams=n_streams,
+                reroute=reroute,
+                obs=obs,
+                track=track,
+            )
+            outcome = retry_out.outcome
+            d_timeouts = retry_out.n_timeouts
+            d_retries = retry_out.n_retries
+            d_failovers = retry_out.n_failovers
+            stats.n_timeouts += d_timeouts
+            stats.n_retries += d_retries
+            stats.n_failovers += d_failovers
+        else:
+            outcome = yield from self.transport.fetch(
+                plan.reads, n_streams=n_streams
+            )
+        for stage, seconds in outcome.stage_seconds.items():
+            stats.add_prefetch_stage(stage, seconds)
+
+        blobs: list[Optional[np.ndarray]] = [None] * plan.n_requests
+        lat = np.zeros(plan.n_requests, dtype=np.float64)
+        self._scatter(plan, outcome, blobs, lat)
+        for key, blob in zip(keys, blobs):
+            self.cache.put(key, blob)
+
+        stats.n_prefetch_waves += 1
+        stats.n_prefetched += plan.n_requests
+        stats.bytes_prefetched += plan.total_bytes
+        stats.n_get_calls += plan.n_reads
+        stats.bytes_transferred += plan.total_bytes
+
+        m = obs.metrics
+        if m.enabled:
+            for cname, val in (
+                ("n_prefetch_waves", 1),
+                ("n_prefetched", plan.n_requests),
+                ("bytes_prefetched", plan.total_bytes),
+                ("n_get_calls", plan.n_reads),
+                ("bytes_transferred", plan.total_bytes),
+                ("n_timeouts", d_timeouts),
+                ("n_retries", d_retries),
+                ("n_failovers", d_failovers),
+            ):
+                if val:
+                    m.counter("ddstore.prefetch", counter=cname, rank=track).inc(val)
+        if obs.tracing:
+            obs.tracer.record(
+                "store.prefetch_wave",
+                cat="store",
+                track=track,
+                lane=1,
+                start=t_start,
+                end=engine.now,
+                n=plan.n_requests,
+                n_reads=plan.n_reads,
+                nbytes=plan.total_bytes,
+                n_batches=len(groups),
+            )
+        return plan.n_requests
 
     @staticmethod
     def _scatter(plan, outcome, blobs, latencies) -> None:
@@ -671,7 +849,12 @@ class DDStore:
     # ------------------------------------------------------------------
     # elastic re-sharding
     # ------------------------------------------------------------------
-    def reshard(self, width: Optional[int] = None, close_old: bool = True) -> Generator:
+    def reshard(
+        self,
+        width: Optional[int] = None,
+        close_old: bool = True,
+        n_workers: int = 1,
+    ) -> Generator:
         """Collectively rebuild the store with a new width — in memory.
 
         The paper's §2.2 names the pain point: with classic data sharding,
@@ -680,9 +863,12 @@ class DDStore:
         already lives in the job's DRAM, so redistribution is a pure
         memory-to-memory shuffle: every rank fetches its *new* chunk
         from the old replica group, then the group structure, registry,
-        and data plane are rebuilt.  Returns the new :class:`DDStore`.
+        and data plane are rebuilt.  ``n_workers`` spreads the bulk reads
+        over that many wire streams (loaders pass their configured worker
+        count through so reshard parallelism matches fetch parallelism).
+        Returns the new :class:`DDStore`.
         """
-        source = _StoreSource(self)
+        source = _StoreSource(self, n_workers=n_workers)
         new_store = yield from DDStore.create(
             self.comm,
             source,
@@ -708,9 +894,10 @@ class _StoreSource:
     fall back to per-sample fetches.
     """
 
-    def __init__(self, store: DDStore) -> None:
+    def __init__(self, store: DDStore, n_workers: int = 1) -> None:
         self.store = store
         self.n_samples = store.n_samples
+        self.n_workers = max(1, int(n_workers))
 
     def load_chunk(self, indices, node_index: int, engine) -> Generator:
         from .preloader import PreloadResult
@@ -721,7 +908,9 @@ class _StoreSource:
             range(indices[0], indices[-1] + 1)
         )
         if not contiguous or not store.transport.supports_coalescing:
-            blobs = yield from store.get_samples(indices, decode="raw")
+            blobs = yield from store.get_samples(
+                indices, decode="raw", n_workers=self.n_workers
+            )
             sizes = np.fromiter((b.size for b in blobs), dtype=np.int64, count=len(blobs))
             buffer = np.concatenate(blobs) if blobs else np.zeros(0, dtype=np.uint8)
             return PreloadResult(buffer=buffer, sizes=sizes)
@@ -778,6 +967,7 @@ class _StoreSource:
                     remote_reads,
                     policy=RetryPolicy.from_options(res),
                     engine=engine,
+                    n_streams=self.n_workers,
                     reroute=reroute,
                     obs=store.comm.communicator.world.obs,
                     track=store.comm.world_rank,
@@ -787,7 +977,9 @@ class _StoreSource:
                 store.stats.n_retries += retry_out.n_retries
                 store.stats.n_failovers += retry_out.n_failovers
             else:
-                outcome = yield from store.transport.fetch(remote_reads)
+                outcome = yield from store.transport.fetch(
+                    remote_reads, n_streams=self.n_workers
+                )
                 timed_out = outcome.timed_out
                 if timed_out is not None and timed_out.any():
                     raise FetchTimeoutError(

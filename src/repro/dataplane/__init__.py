@@ -13,12 +13,17 @@ caches can be added without touching :class:`~repro.core.store.DDStore`:
 * :class:`FetchPlanner` — groups requested samples by owner rank,
   coalesces adjacent byte ranges into single reads, and splits oversized
   reads (RapidGNN/Atompack-style packed remote reads).
-* :class:`SampleCache` — an optional per-rank byte-budgeted LRU sitting
-  in front of the transport, with hit/miss/eviction counters.
+* :class:`SampleCache` — an optional per-rank byte-budgeted cache sitting
+  in front of the transport (LRU or future-fed Belady eviction), with
+  hit/miss/eviction counters.
+* :class:`EpochScheduler` — epoch-ahead scheduling of the trainer's batch
+  loads: depth-k prefetch under an in-flight byte budget, cross-batch
+  wave fetches, and the Belady cache's future feed.
 """
 
 from .cache import CacheStats, SampleCache
 from .planner import FetchPlan, FetchPlanner, PlannedRead, ReadSlice
+from .scheduler import EpochScheduler
 from .registry import (
     available_frameworks,
     get_transport,
@@ -39,6 +44,7 @@ __all__ = [
     "ReadSlice",
     "SampleCache",
     "CacheStats",
+    "EpochScheduler",
     "RetryPolicy",
     "RetryOutcome",
     "FetchTimeoutError",

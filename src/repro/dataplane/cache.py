@@ -1,11 +1,24 @@
-"""Hot-sample cache: a per-rank byte-budgeted LRU in front of the transport.
+"""Hot-sample cache: a per-rank byte-budgeted cache in front of the transport.
 
 RapidGNN-style observation: with deterministic sampling, a modest DRAM
 budget spent on recently fetched *remote* samples slashes repeat remote
 traffic across epochs.  The cache stores packed (still-serialised) sample
-payloads keyed by global sample id, evicts least-recently-used entries to
-stay under its byte budget, and keeps hit/miss/eviction counters that
+payloads keyed by global sample id, evicts entries to stay under its byte
+budget, and keeps hit/miss/eviction counters that
 :class:`~repro.core.store.FetchStats` surfaces to the bench layer.
+
+Two eviction policies:
+
+* ``"lru"`` (default) — least-recently-used, the seed behaviour,
+* ``"belady"`` — farthest-reuse: because ``DataLoader.epoch_batches``
+  returns the whole epoch permutation up front, the epoch-ahead scheduler
+  can hand the cache its *future* access sequence (:meth:`set_future`)
+  and advance a logical clock (:meth:`advance_to`) as batches are
+  consumed.  The victim is then the resident entry whose next use lies
+  farthest in the future (entries with no future use at all go first) —
+  Belady's MIN, which is optimal for a known reference string.  Until a
+  future is supplied the policy degrades to LRU order, so a "belady"
+  cache without a scheduler behaves exactly like an LRU one.
 
 A ``capacity_bytes`` of 0 (the default everywhere) disables the cache
 entirely — the seed fetch behaviour is preserved bit-for-bit.
@@ -13,13 +26,17 @@ entirely — the seed fetch behaviour is preserved bit-for-bit.
 
 from __future__ import annotations
 
-from collections import OrderedDict
+from collections import OrderedDict, deque
 from dataclasses import dataclass
-from typing import Optional
+from typing import Iterable, Optional
 
 import numpy as np
 
-__all__ = ["CacheStats", "SampleCache"]
+__all__ = ["CacheStats", "SampleCache", "CACHE_POLICIES"]
+
+CACHE_POLICIES = ("lru", "belady")
+
+_NEVER = float("inf")  # next-use distance of an entry the future never touches
 
 
 @dataclass
@@ -45,15 +62,24 @@ class CacheStats:
 
 
 class SampleCache:
-    """LRU cache of packed sample payloads under a byte budget."""
+    """Cache of packed sample payloads under a byte budget."""
 
-    def __init__(self, capacity_bytes: int = 0) -> None:
+    def __init__(self, capacity_bytes: int = 0, policy: str = "lru") -> None:
         if capacity_bytes < 0:
             raise ValueError(f"capacity_bytes must be >= 0, got {capacity_bytes}")
+        if policy not in CACHE_POLICIES:
+            raise ValueError(
+                f"policy must be one of {CACHE_POLICIES}, got {policy!r}"
+            )
         self.capacity_bytes = int(capacity_bytes)
+        self.policy = policy
         self.used_bytes = 0
         self.stats = CacheStats()
         self._entries: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        # Belady state: per-key FIFO of future access positions plus the
+        # logical clock (position of the access currently being served).
+        self._future: dict[int, deque] = {}
+        self._clock = 0
 
     @property
     def enabled(self) -> bool:
@@ -65,6 +91,52 @@ class SampleCache:
     def __contains__(self, key: int) -> bool:
         return key in self._entries
 
+    # -- future-knowledge plumbing (belady) --------------------------------
+    def set_future(self, sequence: Iterable[int]) -> None:
+        """Install the known future access sequence (epoch-ahead schedule).
+
+        ``sequence`` lists sample ids in the order they will be accessed;
+        position 0 is "now".  Replaces any previous future and resets the
+        logical clock.  A no-op for the LRU policy.
+        """
+        if self.policy != "belady":
+            return
+        future: dict[int, deque] = {}
+        for pos, key in enumerate(sequence):
+            future.setdefault(int(key), deque()).append(pos)
+        self._future = future
+        self._clock = 0
+
+    def advance_to(self, position: int) -> None:
+        """Move the logical clock: accesses before ``position`` are past."""
+        if position > self._clock:
+            self._clock = int(position)
+
+    def _next_use(self, key: int) -> float:
+        q = self._future.get(key)
+        if q is None:
+            return _NEVER
+        while q and q[0] < self._clock:
+            q.popleft()
+        return float(q[0]) if q else _NEVER
+
+    def _victim(self) -> int:
+        """Key to evict next.  LRU order unless a Belady future is armed."""
+        if self.policy == "belady" and self._future:
+            worst_key = None
+            worst_dist = -1.0
+            # Insertion order iteration makes ties deterministic (the
+            # stalest of equally-distant entries goes first).
+            for key in self._entries:
+                dist = self._next_use(key)
+                if dist == _NEVER:
+                    return key
+                if dist > worst_dist:
+                    worst_key, worst_dist = key, dist
+            return worst_key  # type: ignore[return-value]
+        return next(iter(self._entries))
+
+    # -- the cache proper ---------------------------------------------------
     def get(self, key: int) -> Optional[np.ndarray]:
         """Payload for ``key`` (refreshing its recency), or None on a miss.
 
@@ -81,7 +153,7 @@ class SampleCache:
         return entry
 
     def put(self, key: int, payload: np.ndarray) -> bool:
-        """Insert a payload, evicting LRU entries to fit the byte budget.
+        """Insert a payload, evicting entries to fit the byte budget.
 
         Returns False when the cache is disabled or the payload alone
         exceeds the budget.  The payload is copied, so cached bytes never
@@ -101,7 +173,8 @@ class SampleCache:
             old = self._entries.pop(key)
             self.used_bytes -= int(old.nbytes)
         while self.used_bytes + nbytes > self.capacity_bytes:
-            _, victim = self._entries.popitem(last=False)
+            victim_key = self._victim()
+            victim = self._entries.pop(victim_key)
             self.used_bytes -= int(victim.nbytes)
             self.stats.evictions += 1
             self.stats.evicted_bytes += int(victim.nbytes)
@@ -119,3 +192,5 @@ class SampleCache:
             self.stats.evicted_bytes += int(entry.nbytes)
         self._entries.clear()
         self.used_bytes = 0
+        self._future = {}
+        self._clock = 0

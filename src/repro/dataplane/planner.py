@@ -134,6 +134,52 @@ class FetchPlanner:
             return FetchPlan(reads=reads, n_requests=n)
 
         order = np.lexsort((offsets, targets))
+        reads = self._coalesced(order, targets, offsets, sizes, positions)
+        return FetchPlan(reads=tuple(reads), n_requests=n)
+
+    def plan_batches(
+        self,
+        groups: Sequence[
+            tuple[
+                Sequence[int] | np.ndarray,
+                Sequence[int] | np.ndarray,
+                Sequence[int] | np.ndarray,
+            ]
+        ],
+        positions: Optional[Sequence[int] | np.ndarray] = None,
+    ) -> FetchPlan:
+        """Plan several upcoming batches' requests as one cross-batch window.
+
+        ``groups`` is one ``(targets, offsets, sizes)`` triple per batch;
+        the window is planned as a single coalescing pass, so byte ranges
+        that touch or overlap *across batch boundaries* merge into one wire
+        read, and a sample requested by two different batches is fetched
+        once with one scatter slice per requesting position.  ``positions``
+        labels the concatenated requests (default: index within the
+        concatenation) so callers can map payloads back to (batch, slot).
+        """
+        if not groups:
+            return FetchPlan(reads=(), n_requests=0)
+        targets = np.concatenate(
+            [np.asarray(g[0], dtype=np.int64).reshape(-1) for g in groups]
+        )
+        offsets = np.concatenate(
+            [np.asarray(g[1], dtype=np.int64).reshape(-1) for g in groups]
+        )
+        sizes = np.concatenate(
+            [np.asarray(g[2], dtype=np.int64).reshape(-1) for g in groups]
+        )
+        return self.plan(targets, offsets, sizes, positions=positions)
+
+    def _coalesced(
+        self,
+        order: np.ndarray,
+        targets: np.ndarray,
+        offsets: np.ndarray,
+        sizes: np.ndarray,
+        positions: np.ndarray,
+    ) -> list[PlannedRead]:
+        n = targets.size
         reads: list[PlannedRead] = []
         i = 0
         while i < n:
@@ -154,7 +200,7 @@ class FetchPlanner:
                 self._emit_span(target, span_lo, span_hi, members, offsets, sizes, positions)
             )
             i = k
-        return FetchPlan(reads=tuple(reads), n_requests=n)
+        return reads
 
     def _emit_span(
         self,

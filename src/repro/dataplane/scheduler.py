@@ -1,0 +1,236 @@
+"""Epoch-ahead fetch scheduling: the depth-k prefetch pipeline.
+
+``DataLoader.epoch_batches`` returns the *entire* epoch permutation up
+front, so the data plane can be scheduled against a known future instead
+of reacting batch-by-batch (RapidGNN's observation).  The
+:class:`EpochScheduler` consumes that schedule and drives four
+coordinated optimisations:
+
+1. **depth-k prefetch** — up to ``prefetch_depth`` batch loads run
+   concurrently ahead of compute, replacing the trainer's fixed depth-1
+   pipeline.  Depth 1 reproduces the seed pipeline *bit-for-bit*: the
+   same ``engine.process(loader.load(...))`` calls are made at the same
+   virtual times in the same order, so default-config results are
+   unchanged.
+2. **bounded in-flight bytes** — launches beyond the head-of-line batch
+   are gated on ``prefetch_budget_bytes`` using the registry's exact
+   per-sample sizes (no simulated time is spent estimating).  The head
+   batch always launches, so the pipeline can never deadlock.
+3. **wave scheduling** (``scheduler=True``) — consecutive batches are
+   grouped into waves of up to ``prefetch_depth`` batches (cut early when
+   the byte budget fills).  Each wave's remote samples are fetched by ONE
+   :meth:`~repro.core.store.DDStore.prefetch_wave` call: one fetch plan
+   spanning the wave's batch boundaries (cross-batch dedup/coalescing)
+   and one RMA lock epoch per target per wave instead of per
+   ``get_samples`` call.  Payloads land in the hot-sample cache; the
+   wave's per-batch loads chain behind the wave fetch and hit the cache.
+4. **future-fed Belady eviction** — with ``cache_policy="belady"`` the
+   scheduler installs the epoch's flattened access sequence into the
+   cache (:meth:`~.cache.SampleCache.set_future`) and advances its
+   logical clock as batch loads start, so evictions discard the entry
+   whose next use is farthest away.
+
+The scheduler is engine-agnostic bookkeeping: all virtual time is spent
+inside the loader/store coroutines it launches.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["EpochScheduler"]
+
+
+class EpochScheduler:
+    """Schedules one epoch's batch loads for a trainer loop.
+
+    Protocol (mirrors the seed depth-1 pipeline)::
+
+        sched = EpochScheduler(loader, batches, engine=engine)
+        sched.start()                      # launch the initial window
+        for step in range(len(batches)):
+            loaded = yield sched.event(step)   # stall for the remainder
+            sched.advance(step)            # retire + top up the window
+
+    ``options`` defaults to the loader's store-configured
+    :class:`~repro.core.config.DataPlaneOptions` (depth-1, no waves, for
+    storeless backends).
+    """
+
+    def __init__(
+        self,
+        loader,
+        batches: Sequence[np.ndarray],
+        *,
+        engine,
+        options=None,
+        obs=None,
+        track: int = 0,
+    ) -> None:
+        self.loader = loader
+        self.batches = list(batches)
+        self.engine = engine
+        self.obs = obs
+        self.track = track
+        if options is None and hasattr(loader, "dataplane_options"):
+            options = loader.dataplane_options()
+        self.depth = options.prefetch_depth if options is not None else 1
+        self.budget = options.prefetch_budget_bytes if options is not None else None
+        cache = loader.sample_cache() if hasattr(loader, "sample_cache") else None
+        can_wave = (
+            options is not None
+            and options.scheduler
+            and cache is not None
+            and cache.enabled
+            and hasattr(loader.dataset, "prefetch")
+        )
+        self.waves_enabled = bool(can_wave)
+        self._cache = cache
+        self._belady = bool(
+            cache is not None and cache.enabled and cache.policy == "belady"
+        )
+        self._estimate = getattr(loader.dataset, "estimate_nbytes", None)
+
+        n = len(self.batches)
+        self._events: list[Optional[object]] = [None] * n
+        self._next_launch = 0
+        self._in_flight_bytes = 0
+        self._est: dict[int, int] = {}
+        self._launched = 0
+        self._peak_in_flight = 0
+        # Sample position of each batch's first access in the flattened
+        # epoch sequence (the Belady clock's unit).
+        self._positions = np.zeros(n, dtype=np.int64)
+        if n:
+            lens = np.fromiter((len(b) for b in self.batches), dtype=np.int64, count=n)
+            self._positions[1:] = np.cumsum(lens)[:-1]
+        if self._belady:
+            cache.set_future(
+                int(i) for batch in self.batches for i in np.asarray(batch).reshape(-1)
+            )
+        # Wave partition: wave id per batch + the wave's batch span.
+        self._wave_of: list[int] = []
+        self._waves: list[tuple[int, int]] = []  # [lo, hi) batch indices
+        self._wave_procs: dict[int, object] = {}
+        if self.waves_enabled:
+            self._partition_waves()
+
+    # -- window bookkeeping -------------------------------------------------
+    def _batch_bytes(self, b: int) -> int:
+        est = self._est.get(b)
+        if est is None:
+            est = int(self._estimate(self.batches[b])) if self._estimate else 0
+            self._est[b] = est
+        return est
+
+    def _budget_ok(self, b: int) -> bool:
+        if self.budget is None:
+            return True
+        return self._in_flight_bytes + self._batch_bytes(b) <= self.budget
+
+    def _partition_waves(self) -> None:
+        n = len(self.batches)
+        lo = 0
+        while lo < n:
+            hi = lo + 1
+            wave_bytes = self._batch_bytes(lo)
+            # Warmup ramp: the first wave is a single batch, so step 0
+            # stalls only behind its own fetch; the full-depth waves that
+            # follow are hidden under compute.
+            limit = 1 if lo == 0 else self.depth
+            while hi < n and hi - lo < limit:
+                nxt = self._batch_bytes(hi)
+                if self.budget is not None and wave_bytes + nxt > self.budget:
+                    break
+                wave_bytes += nxt
+                hi += 1
+            w = len(self._waves)
+            self._waves.append((lo, hi))
+            self._wave_of.extend([w] * (hi - lo))
+            lo = hi
+
+    def _wave_proc(self, w: int):
+        proc = self._wave_procs.get(w)
+        if proc is None:
+            lo, hi = self._waves[w]
+            proc = self.engine.process(
+                self.loader.dataset.prefetch(self.batches[lo:hi]),
+                name="prefetch-wave",
+            )
+            self._wave_procs[w] = proc
+            if self.obs is not None and self.obs.metrics.enabled:
+                self.obs.metrics.counter(
+                    "sched.waves", rank=self.track, depth=self.depth
+                ).inc(1)
+        return proc
+
+    def _chained_load(self, wave_proc, idx, position: int) -> Generator:
+        if wave_proc is not None:
+            yield wave_proc
+        if self._belady:
+            self._cache.advance_to(position)
+        loaded = yield from self.loader.load(idx)
+        return loaded
+
+    def _launch(self, b: int) -> None:
+        idx = self.batches[b]
+        if self.waves_enabled:
+            gen = self._chained_load(
+                self._wave_proc(self._wave_of[b]), idx, int(self._positions[b])
+            )
+        elif self._belady:
+            gen = self._chained_load(None, idx, int(self._positions[b]))
+        else:
+            # Seed-identical event creation: the raw loader coroutine.
+            gen = self.loader.load(idx)
+        self._events[b] = self.engine.process(gen, name="prefetch")
+        if self.budget is not None:
+            self._in_flight_bytes += self._batch_bytes(b)
+            self._peak_in_flight = max(self._peak_in_flight, self._in_flight_bytes)
+        self._launched += 1
+        self._next_launch = b + 1
+
+    def _top_up(self, consumed: int) -> None:
+        n = len(self.batches)
+        while self._next_launch < n and self._next_launch <= consumed + self.depth:
+            b = self._next_launch
+            # The head-of-line batch may always launch (no deadlock);
+            # deeper launches respect the in-flight byte budget.
+            if b != consumed + 1 and not self._budget_ok(b):
+                break
+            self._launch(b)
+
+    # -- the trainer-facing protocol ---------------------------------------
+    def start(self) -> None:
+        """Launch the initial prefetch window (batch 0 .. depth-1)."""
+        self._top_up(-1)
+
+    def event(self, step: int):
+        """The Process computing batch ``step``'s :class:`LoadedBatch`."""
+        if self._events[step] is None:
+            # Only reachable if a caller skips the protocol; keep the
+            # pipeline sound by launching on demand.
+            self._launch(step)
+        return self._events[step]
+
+    def advance(self, step: int) -> None:
+        """Retire batch ``step`` (consumed) and top up the window."""
+        if self.budget is not None:
+            self._in_flight_bytes -= self._batch_bytes(step)
+        self._events[step] = None  # release the retired Process
+        self._top_up(step)
+
+    def finish(self) -> None:
+        """Emit end-of-epoch scheduler metrics (no-op when unobserved)."""
+        if self.obs is None or not self.obs.metrics.enabled or not self._launched:
+            return
+        m = self.obs.metrics
+        m.counter(
+            "sched.launches", rank=self.track, depth=self.depth
+        ).inc(self._launched)
+        if self.budget is not None:
+            m.gauge("sched.peak_in_flight_bytes", rank=self.track).set(
+                float(self._peak_in_flight)
+            )

@@ -11,6 +11,7 @@ transport the registry resolved for ``config.framework``.
 from __future__ import annotations
 
 import abc
+from collections import deque
 from dataclasses import dataclass, field
 from typing import ClassVar, Generator, Optional, Sequence
 
@@ -18,6 +19,7 @@ import numpy as np
 
 from ..mpi import LOCK_SHARED, Comm, WinHandle, create_window, waitall
 from ..sim import RngRegistry
+from ..sim.engine import Event
 from .planner import PlannedRead
 
 __all__ = ["FetchOutcome", "Transport", "RmaTransport", "P2PTransport"]
@@ -92,6 +94,38 @@ class Transport(abc.ABC):
         yield  # pragma: no cover - generator for API symmetry
 
 
+class _EpochGate:
+    """Serialises one rank's RMA lock epochs.
+
+    MPI forbids a rank holding two concurrent locks on the same target
+    window, and with depth-k prefetch several ``fetch`` coroutines can be
+    in flight at once on one rank.  The gate makes each lock→get→unlock
+    epoch exclusive per rank.  An uncontended acquire touches no engine
+    state (no events, no virtual time), so single-in-flight callers —
+    the depth-1 default — are bit-for-bit unaffected.  Contended waiters
+    queue FIFO for determinism.
+    """
+
+    __slots__ = ("engine", "_held", "_waiters")
+
+    def __init__(self, engine) -> None:
+        self.engine = engine
+        self._held = False
+        self._waiters: deque = deque()
+
+    def acquire(self) -> Generator:
+        while self._held:
+            ev = Event(self.engine)
+            self._waiters.append(ev)
+            yield ev
+        self._held = True
+
+    def release(self) -> None:
+        self._held = False
+        if self._waiters:
+            self._waiters.popleft().succeed()
+
+
 class RmaTransport(Transport):
     """The paper's data plane: shared-lock epochs + batched ``MPI_Get``."""
 
@@ -100,6 +134,7 @@ class RmaTransport(Transport):
 
     def __init__(self, win: WinHandle) -> None:
         self.win = win
+        self._gate = _EpochGate(win.engine)
 
     @classmethod
     def setup(
@@ -125,17 +160,23 @@ class RmaTransport(Transport):
         engine = win.engine
         targets = sorted({r.target for r in reads})
         t0 = engine.now
-        for t in targets:
-            yield from win.lock(t, LOCK_SHARED)
-        t_locked = engine.now
-        payloads = yield from win.get_batch(
-            [r.request for r in reads], n_streams=n_streams, timeout_s=timeout_s
-        )
-        t_got = engine.now
-        latencies = win.last_latencies
-        timed_out = win.last_timeouts
-        for t in targets:
-            yield from win.unlock(t)
+        # Gate wait is charged to the lock stage: it is lock-epoch
+        # contention on this rank's own side of the window.
+        yield from self._gate.acquire()
+        try:
+            for t in targets:
+                yield from win.lock(t, LOCK_SHARED)
+            t_locked = engine.now
+            payloads = yield from win.get_batch(
+                [r.request for r in reads], n_streams=n_streams, timeout_s=timeout_s
+            )
+            t_got = engine.now
+            latencies = win.last_latencies
+            timed_out = win.last_timeouts
+            for t in targets:
+                yield from win.unlock(t)
+        finally:
+            self._gate.release()
         return FetchOutcome(
             payloads=payloads,
             latencies=latencies,

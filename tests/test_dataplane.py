@@ -463,3 +463,42 @@ def test_experiment_config_validates_width_up_front():
         ExperimentConfig(
             machine="perlmutter", n_nodes=2, method="ddstore", cache_bytes=-5
         )
+
+
+def test_plan_batches_cross_batch_dedup_single_read():
+    """A sample requested by two consecutive batches is planned as ONE
+    wire read with one scatter slice per requesting position."""
+    plan = FetchPlanner().plan_batches(
+        [
+            ([1, 1], [0, 64], [16, 16]),  # batch k: samples A, B
+            ([1, 2], [64, 0], [16, 32]),  # batch k+1: B again, C
+        ]
+    )
+    assert plan.n_requests == 4
+    # B's byte range [64, 80) on target 1 appears in exactly one read...
+    b_reads = [r for r in plan.reads if r.target == 1 and r.offset == 64]
+    assert len(b_reads) == 1
+    # ...with two scatter destinations: position 1 (batch k) and 2 (k+1).
+    assert sorted(s.position for s in b_reads[0].slices) == [1, 2]
+    # Wire bytes are deduplicated: A + B + C moved once each.
+    assert plan.total_bytes == 16 + 16 + 32
+
+
+def test_plan_batches_coalesces_across_batch_boundary():
+    """Ranges adjacent across a batch boundary merge into one read."""
+    plan = FetchPlanner().plan_batches(
+        [
+            ([1], [0], [16]),
+            ([1], [16], [16]),  # touches the previous batch's range
+        ]
+    )
+    assert plan.n_reads == 1
+    assert plan.reads[0].request == (1, 0, 32)
+    assert [s.position for s in plan.reads[0].slices] == [0, 1]
+
+
+def test_plan_batches_empty_groups():
+    assert FetchPlanner().plan_batches([]).n_reads == 0
+    plan = FetchPlanner().plan_batches([([], [], []), ([1], [0], [8])])
+    assert plan.n_reads == 1
+    assert plan.n_requests == 1

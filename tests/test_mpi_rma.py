@@ -276,3 +276,49 @@ def test_remote_get_slower_than_local_get():
     job = run(main, jitter_sigma=0.0)
     local_dt, remote_dt = job.results[0]
     assert local_dt < remote_dt
+
+
+def test_get_batch_all_requests_timeout():
+    """When every get blows its deadline: all payloads None, the timeout
+    mask is all-True, and each read's observed latency is exactly the
+    timeout window (the origin abandons the gets at issue + timeout)."""
+
+    def main(ctx):
+        win = yield from create_window(ctx.comm, _make_local(ctx.rank, 256))
+        yield from win.fence()
+        if ctx.rank == 0:
+            timeout = 1e-12  # far below any wire latency: all must trip
+            requests = [(2, 0, 64), (2, 64, 64), (3, 0, 64)]
+            yield from win.lock(2, LOCK_SHARED)
+            yield from win.lock(3, LOCK_SHARED)
+            t0 = ctx.now
+            payloads = yield from win.get_batch(requests, timeout_s=timeout)
+            waited = ctx.now - t0
+            timed_out = win.last_timeouts.copy()
+            latencies = win.last_latencies.copy()
+            yield from win.unlock(2)
+            yield from win.unlock(3)
+
+            yield from win.lock(2, LOCK_SHARED)
+            full = yield from win.get_batch([(2, 0, 64)])  # sanity: data exists
+            yield from win.unlock(2)
+            return (
+                payloads,
+                bool(timed_out.all()),
+                latencies,
+                waited,
+                timeout,
+                full[0],
+            )
+        return None
+
+    job = run(main, n_nodes=2)
+    payloads, all_timed_out, latencies, waited, timeout, full = job.results[0]
+    assert payloads == [None, None, None]
+    assert all_timed_out
+    # Abandonment caps each observed latency at exactly the window.
+    assert np.allclose(latencies, timeout)
+    # The origin's total wait spans the last issue plus the window — far
+    # below what the transfers themselves would have taken.
+    assert waited >= timeout
+    assert np.all(full == 2)  # the untimed re-read still sees the bytes

@@ -1,0 +1,262 @@
+"""Epoch-ahead scheduler: depth-k windows, budgets, waves, Belady cache."""
+
+import numpy as np
+import pytest
+
+from repro.core import DataPlaneOptions, DDStore, GeneratorSource
+from repro.dataplane import EpochScheduler, SampleCache
+from repro.graphs import IsingGenerator
+from repro.hardware import TESTBOX
+from repro.mpi import run_world
+from repro.sim import Engine
+
+
+def run(fn, n_nodes=2, **kw):
+    return run_world(TESTBOX, n_nodes, fn, **kw)
+
+
+def _source(ctx, n=32, seed=0):
+    return GeneratorSource(IsingGenerator(n, seed=seed), ctx.world.machine)
+
+
+# ---------------------------------------------------------------------------
+# scheduler window mechanics (stub loader on a bare engine)
+# ---------------------------------------------------------------------------
+
+
+class _StubDataset:
+    def __init__(self, bytes_per_sample=100):
+        self.bytes_per_sample = bytes_per_sample
+
+    def estimate_nbytes(self, indices):
+        return self.bytes_per_sample * len(indices)
+
+
+class _StubLoader:
+    """Loader double: records when each batch's load coroutine starts."""
+
+    def __init__(self, engine, load_time=0.01):
+        self.engine = engine
+        self.load_time = load_time
+        self.dataset = _StubDataset()
+        self.launches: list[tuple[tuple, float]] = []
+
+    def load(self, idx):
+        self.launches.append((tuple(idx), self.engine.now))
+        yield self.engine.timeout(self.load_time)
+        return tuple(idx)
+
+
+def _drive(engine, sched, n, compute=0.05):
+    """Trainer-loop double following the scheduler protocol."""
+    consumed = []
+
+    def loop():
+        sched.start()
+        for step in range(n):
+            yield sched.event(step)
+            consumed.append((step, engine.now))
+            sched.advance(step)
+            yield engine.timeout(compute)
+
+    engine.process(loop(), name="trainer")
+    engine.run()
+    return consumed
+
+
+def test_depth1_launches_one_batch_ahead():
+    """Depth 1 reproduces the seed pipeline: batch k+1's load starts at
+    the instant batch k is consumed, never earlier."""
+    engine = Engine()
+    loader = _StubLoader(engine)
+    batches = [np.array([i]) for i in range(4)]
+    sched = EpochScheduler(loader, batches, engine=engine)
+    consumed = _drive(engine, sched, len(batches))
+
+    assert [b for b, _t in loader.launches] == [(0,), (1,), (2,), (3,)]
+    assert loader.launches[0][1] == 0.0
+    for k in range(3):
+        assert loader.launches[k + 1][1] == consumed[k][1]
+
+
+def test_depth4_launches_initial_window_immediately():
+    engine = Engine()
+    loader = _StubLoader(engine)
+    batches = [np.array([i]) for i in range(6)]
+    opts = DataPlaneOptions(prefetch_depth=4)
+    sched = EpochScheduler(loader, batches, engine=engine, options=opts)
+    _drive(engine, sched, len(batches))
+
+    t0_launches = [b for b, t in loader.launches if t == 0.0]
+    assert t0_launches == [(0,), (1,), (2,), (3,)]
+
+
+def test_budget_gates_launches_beyond_head_of_line():
+    """With a budget below two batches' bytes, only the head-of-line
+    batch is in flight; deeper launches wait for capacity."""
+    engine = Engine()
+    loader = _StubLoader(engine)  # 100 bytes per one-sample batch
+    batches = [np.array([i]) for i in range(4)]
+    opts = DataPlaneOptions(prefetch_depth=4, prefetch_budget_bytes=150)
+    sched = EpochScheduler(loader, batches, engine=engine, options=opts)
+    consumed = _drive(engine, sched, len(batches))
+
+    # One launch at t=0 (the head), each next launch only at consume time.
+    assert [t for _b, t in loader.launches][:1] == [0.0]
+    for k in range(3):
+        assert loader.launches[k + 1][1] == consumed[k][1]
+
+
+def test_generous_budget_does_not_gate():
+    engine = Engine()
+    loader = _StubLoader(engine)
+    batches = [np.array([i]) for i in range(4)]
+    opts = DataPlaneOptions(prefetch_depth=4, prefetch_budget_bytes=10_000)
+    sched = EpochScheduler(loader, batches, engine=engine, options=opts)
+    _drive(engine, sched, len(batches))
+    assert sum(1 for _b, t in loader.launches if t == 0.0) == 4
+
+
+# ---------------------------------------------------------------------------
+# Belady (farthest-reuse) eviction
+# ---------------------------------------------------------------------------
+
+
+def test_belady_evicts_farthest_reuse_lru_evicts_oldest():
+    pay = np.zeros(8, dtype=np.uint8)
+    lru = SampleCache(16, policy="lru")
+    bel = SampleCache(16, policy="belady")
+    bel.set_future([7, 5, 9, 5])  # 7 used at 0, 5 at 1 and 3, 9 at 2
+
+    for c in (lru, bel):
+        c.put(5, pay)
+        c.put(7, pay)
+
+    bel.advance_to(1)  # access 0 (key 7's only use) is in the past
+    for c in (lru, bel):
+        c.put(9, pay)
+
+    assert 5 not in lru and 7 in lru  # oldest insertion evicted
+    assert 7 not in bel and 5 in bel  # consumed entry evicted first
+
+
+def test_belady_prefers_never_used_then_farthest():
+    pay = np.zeros(8, dtype=np.uint8)
+    c = SampleCache(16, policy="belady")
+    c.set_future([1, 2, 1])  # key 3 never appears
+    c.put(3, pay)
+    c.put(1, pay)
+    c.put(2, pay)  # evicts 3 (no future use), not 1 (used at 0 and 2)
+    assert 3 not in c and 1 in c and 2 in c
+
+
+def test_belady_without_future_degrades_to_lru():
+    pay = np.zeros(8, dtype=np.uint8)
+    c = SampleCache(16, policy="belady")
+    c.put(1, pay)
+    c.put(2, pay)
+    c.put(3, pay)
+    assert 1 not in c and 2 in c and 3 in c
+
+
+def test_cache_rejects_unknown_policy():
+    with pytest.raises(ValueError, match="policy"):
+        SampleCache(16, policy="clairvoyant")
+
+
+def test_scheduler_requires_cache_for_waves():
+    with pytest.raises(ValueError, match="cache_bytes"):
+        DataPlaneOptions(scheduler=True)
+
+
+# ---------------------------------------------------------------------------
+# wave prefetch through a real store
+# ---------------------------------------------------------------------------
+
+
+def test_prefetch_wave_cross_batch_dedup_and_counters():
+    """An index repeated across two scheduled batches is fetched once;
+    the demand loads then hit the cache for both destinations, and the
+    FetchStats counters agree on every axis."""
+
+    def main(ctx):
+        store = yield from DDStore.create(
+            ctx.comm,
+            _source(ctx),
+            dataplane=DataPlaneOptions(
+                cache_bytes=1 << 20, scheduler=True, prefetch_depth=2
+            ),
+        )
+        lo, hi = store.local_range
+        a = [hi % 32, (hi + 1) % 32]
+        b = [(hi + 1) % 32, (hi + 2) % 32]  # (hi+1) appears in both batches
+        n = yield from store.prefetch_wave([a, b])
+        ga = yield from store.get_samples(a)
+        gb = yield from store.get_samples(b)
+        return n, store.stats, [g.sample_id for g in ga], [g.sample_id for g in gb]
+
+    job = run(main)
+    for n, stats, ids_a, ids_b in job.results:
+        # 4 requested slots, 3 distinct remote samples: the duplicate is
+        # fetched exactly once.
+        assert n == 3
+        assert stats.n_prefetched == 3
+        assert stats.n_prefetch_waves == 1
+        # Three contiguous samples from one owner coalesce into one read.
+        assert stats.n_get_calls == 1
+        # Every demand fetch (both scatter destinations of the duplicate
+        # included) became a cache hit; no remote demand traffic at all.
+        assert stats.n_remote == 0
+        assert stats.n_cache_hits == 4
+        assert stats.bytes_transferred == stats.bytes_prefetched > 0
+        # The payloads are the right samples, in request order.
+        lo_next = (ids_a[0] // 8) * 8
+        assert ids_a == [lo_next % 32, (lo_next + 1) % 32]
+        assert ids_b == [(lo_next + 1) % 32, (lo_next + 2) % 32]
+
+
+def test_prefetch_wave_skips_cached_and_local():
+    def main(ctx):
+        store = yield from DDStore.create(
+            ctx.comm,
+            _source(ctx),
+            dataplane=DataPlaneOptions(
+                cache_bytes=1 << 20, scheduler=True, prefetch_depth=2
+            ),
+        )
+        lo, hi = store.local_range
+        remote = [hi % 32, (hi + 1) % 32]
+        n1 = yield from store.prefetch_wave([remote])
+        # Second wave over the same ids plus local ones: nothing to fetch.
+        n2 = yield from store.prefetch_wave([remote, [lo, lo + 1]])
+        return n1, n2, store.stats.n_prefetch_waves
+
+    job = run(main)
+    for n1, n2, waves in job.results:
+        assert n1 == 2
+        assert n2 == 0
+        assert waves == 1  # the empty wave is not counted
+
+
+def test_wave_scheduled_training_is_deterministic():
+    """Two fresh simulations of a wave-scheduled config agree exactly."""
+    from repro.bench.harness import ExperimentConfig, run_experiment
+
+    cfg = ExperimentConfig(
+        machine="perlmutter",
+        n_nodes=2,
+        dataset="ising",
+        batch_size=8,
+        steps_per_epoch=3,
+        epochs=2,
+        prefetch_depth=4,
+        scheduler=True,
+        cache_bytes=1 << 22,
+        cache_policy="belady",
+    )
+    a = run_experiment(cfg)
+    b = run_experiment(cfg)
+    assert a.elapsed == b.elapsed
+    assert a.data_wait == b.data_wait
+    assert a.overlap_efficiency == b.overlap_efficiency
+    assert a.fetch_counters == b.fetch_counters
