@@ -31,6 +31,7 @@ __all__ = [
     "ablation_dataplane",
     "ablation_coalescing",
     "ablation_prefetch",
+    "ablation_columnar",
     "ablation_shuffle",
     "ablation_nvme",
     "ablation_workers",
@@ -261,6 +262,153 @@ def ablation_prefetch(profile: Optional[ScaleProfile] = None):
     text += (
         f"\ndepth4 waves/belady speedup over depth1 plain: "
         f"{data['speedup_depth4_belady']:.2f}x"
+        f"\nchecks: {data['checks']}"
+    )
+    return text, data
+
+
+# ---------------------------------------------------------------------------
+# zero-copy columnar batch assembly: row decode vs arena scatter
+# ---------------------------------------------------------------------------
+
+
+def _columnar_cell(profile: ScaleProfile, **kw) -> ExperimentConfig:
+    """A decode-bound fig9-style cell (DDStore, spectrum dataset).
+
+    The spectrum dataset's ~150 KB samples make per-sample decode (~35 us
+    base + ~48 us of byte cost at ~3 GB/s) the dominant loader term once
+    fetches are local (``shuffle="local"``: every rank reads its own
+    chunk over the shared-memory path).  The model is narrowed so compute
+    cannot hide the loader.  ``shuffle="global"`` variants add the wire
+    path on top — decode then shares the loader with the RMA gets.
+    """
+    defaults = dict(
+        machine="perlmutter",
+        n_nodes=max(2, profile.perlmutter_nodes // 4),
+        dataset="aisd-ex-smooth",
+        method="ddstore",
+        shuffle="local",
+        batch_size=64,
+        steps_per_epoch=max(4, profile.steps_per_epoch),
+        epochs=1,
+        hidden_dim=32,
+    )
+    defaults.update(kw)
+    return ExperimentConfig(**defaults)
+
+
+def ablation_columnar(profile: Optional[ScaleProfile] = None):
+    """Row-decode loader vs zero-copy columnar arena scatter.
+
+    Five cells: the row/columnar pair on the decode-bound local-shard
+    cell (every fetch is a cheap shared-memory copy, so per-sample decode
+    *is* the row loader), the same pair under global shuffle (the wire
+    path dilutes the win), and columnar composed with depth-4 wave
+    scheduling (arena scatter fed from cache-parked wave payloads).  The
+    returned data carries four checks the CI smoke step asserts on:
+
+    * ``deterministic`` — the global columnar cell, run twice from
+      scratch, reproduces elapsed/stall/overlap and every fetch counter;
+    * ``columnar_2x`` — columnar epoch time is at least 2x faster than
+      the row pipeline on the decode-bound cell;
+    * ``zero_scatter_allocs`` — a fresh global columnar run performs
+      *zero* per-sample ndarray allocations (neither the local- nor the
+      wire-scatter arm ever materialises a sample);
+    * ``row_path_allocates`` — the instrumented row run does allocate
+      (the counter itself is live, so the zero above is meaningful).
+    """
+    profile = profile or current_profile()
+    rows = []
+    data: dict = {"cells": {}}
+
+    def run(label, **kw):
+        r = cached_experiment(_columnar_cell(profile, **kw))
+        s = r.fetch_stages
+        rows.append(
+            [
+                label,
+                f"{r.elapsed * 1e3:.3f}",
+                f"{r.data_wait * 1e3:.3f}",
+                f"{s.get('decode', 0.0) * 1e3:.3f}",
+                f"{s.get('scatter', 0.0) * 1e3:.3f}",
+                f"{r.fetch_counters.get('n_remote', 0):,}",
+            ]
+        )
+        data["cells"][label] = dict(
+            elapsed=r.elapsed,
+            data_wait=r.data_wait,
+            throughput=r.throughput,
+            stages=dict(s),
+            counters=dict(r.fetch_counters),
+        )
+        return r
+
+    run("row local (decode-bound)", columnar=False)
+    run("columnar local (decode-bound)", columnar=True)
+    run("row global", columnar=False, shuffle="global")
+    run("columnar global", columnar=True, shuffle="global")
+    run(
+        "columnar global depth4 waves/belady",
+        columnar=True,
+        shuffle="global",
+        prefetch_depth=4,
+        scheduler=True,
+        cache_bytes=PREFETCH_CACHE_BYTES,
+        cache_policy="belady",
+    )
+
+    # -- checks ------------------------------------------------------------
+    from ..graphs import SAMPLE_ALLOCATIONS
+    from .harness import run_experiment  # fresh runs: bypass the result cache
+
+    def fingerprint(r):
+        return (
+            r.elapsed,
+            r.data_wait,
+            r.overlap_efficiency,
+            tuple(sorted(r.fetch_counters.items())),
+        )
+
+    # Global shuffle exercises both scatter arms (local copy + wire RMA).
+    probe_cfg = _columnar_cell(profile, columnar=True, shuffle="global")
+    SAMPLE_ALLOCATIONS.reset()
+    a = run_experiment(probe_cfg)
+    columnar_allocs = SAMPLE_ALLOCATIONS.count
+    b = run_experiment(probe_cfg)
+    SAMPLE_ALLOCATIONS.reset()
+    row_probe = run_experiment(_columnar_cell(profile, columnar=False, shuffle="global"))
+    row_allocs = SAMPLE_ALLOCATIONS.count
+    del row_probe
+
+    baseline = data["cells"]["row local (decode-bound)"]["elapsed"]
+    columnar = data["cells"]["columnar local (decode-bound)"]["elapsed"]
+    data["checks"] = {
+        "deterministic": bool(fingerprint(a) == fingerprint(b)),
+        "columnar_2x": bool(columnar > 0 and baseline / columnar >= 2.0),
+        "zero_scatter_allocs": bool(columnar_allocs == 0),
+        "row_path_allocates": bool(row_allocs > 0),
+    }
+    data["speedup_columnar"] = baseline / columnar if columnar > 0 else float("inf")
+    data["speedup_columnar_global"] = (
+        data["cells"]["row global"]["elapsed"]
+        / data["cells"]["columnar global"]["elapsed"]
+    )
+    data["columnar_allocations"] = int(columnar_allocs)
+    data["row_allocations"] = int(row_allocs)
+
+    text = render_table(
+        ["Byte path", "epoch (ms)", "stall (ms)", "decode (ms)", "scatter (ms)", "remote"],
+        rows,
+        title=(
+            "Ablation — zero-copy columnar batch assembly "
+            "(row decode vs arena scatter, decode-bound spectrum cell)"
+        ),
+    )
+    text += (
+        f"\ncolumnar speedup, decode-bound cell: {data['speedup_columnar']:.2f}x"
+        f"  (global shuffle: {data['speedup_columnar_global']:.2f}x)"
+        f"\nper-sample ndarray allocations — row: {row_allocs:,}, "
+        f"columnar: {columnar_allocs:,}"
         f"\nchecks: {data['checks']}"
     )
     return text, data

@@ -105,6 +105,7 @@ class ExperimentConfig:
     prefetch_budget_bytes: Optional[int] = None  # in-flight byte cap
     scheduler: bool = False  # wave scheduling (needs cache_bytes > 0)
     cache_policy: str = "lru"  # "lru" or "belady"
+    columnar: bool = False  # zero-copy columnar batch assembly (arenas)
     # fault injection + resilience (see repro.faults / ResilienceOptions)
     fault_plan: Optional[str] = None  # named plan, e.g. "straggler-10x"
     timeout_s: Optional[float] = None  # per-read fetch timeout (None = off)
@@ -144,6 +145,7 @@ class ExperimentConfig:
                 prefetch_budget_bytes=self.prefetch_budget_bytes,
                 scheduler=self.scheduler,
                 cache_policy=self.cache_policy,
+                columnar=self.columnar,
             ),
             resilience=ResilienceOptions(
                 timeout_s=self.timeout_s,

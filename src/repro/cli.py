@@ -40,6 +40,7 @@ from .bench import (
 from .bench.ablations import (
     ablation_cache,
     ablation_coalescing,
+    ablation_columnar,
     ablation_conv_policy,
     ablation_dataplane,
     ablation_nvme,
@@ -66,6 +67,7 @@ EXPERIMENTS: dict[str, tuple[Callable, str]] = {
     "ablation-dataplane": (ablation_dataplane, "RMA vs two-sided p2p"),
     "ablation-coalescing": (ablation_coalescing, "fetch coalescing + hot-sample cache"),
     "ablation-prefetch": (ablation_prefetch, "epoch-ahead scheduler: depth-k x waves x eviction"),
+    "ablation-columnar": (ablation_columnar, "row decode vs zero-copy columnar arena scatter"),
     "ablation-shuffle": (ablation_shuffle, "global vs local shuffle"),
     "ablation-nvme": (ablation_nvme, "NVMe staging vs DDStore"),
     "ablation-workers": (ablation_workers, "loader-worker sensitivity"),
@@ -221,7 +223,9 @@ def main(argv: list[str] | None = None) -> int:
     tr = sub.add_parser(
         "trace", help="run one experiment traced; export Chrome trace JSON"
     )
-    tr.add_argument("name", help="traceable experiment (fig5, fig9, resilience, p2p)")
+    tr.add_argument(
+        "name", help="traceable experiment (fig5, fig9, resilience, columnar, p2p)"
+    )
     tr.add_argument("--scale", choices=["tiny", "small", "paper"], default=None)
     tr.add_argument("--out", default=None, help="output path for the trace JSON")
     tr.add_argument("--tolerance", type=float, default=0.01)

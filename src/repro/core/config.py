@@ -67,7 +67,12 @@ class DataPlaneOptions:
       ``scheduler=True`` requires ``cache_bytes > 0``,
     * ``cache_policy`` — ``"lru"`` (default) or ``"belady"``
       (farthest-reuse eviction against the known epoch access sequence;
-      falls back to LRU order until a future sequence is supplied).
+      falls back to LRU order until a future sequence is supplied),
+    * ``columnar`` — enable the zero-copy columnar batch path: the store
+      replicates a per-sample shape index at create time and demand
+      fetches scatter wire bytes straight into preallocated batch arenas
+      (no per-sample decode or allocation).  Off by default; the row path
+      stays bit-identical.
     """
 
     framework: str = "mpi-rma"
@@ -78,6 +83,7 @@ class DataPlaneOptions:
     prefetch_budget_bytes: Optional[int] = None
     scheduler: bool = False
     cache_policy: str = "lru"
+    columnar: bool = False
 
     def __post_init__(self) -> None:
         # Lazy import: repro.dataplane registers the built-in transports on

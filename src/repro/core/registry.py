@@ -10,12 +10,41 @@ issue one-sided reads without touching the target process.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
 from .chunking import ChunkLayout
 
-__all__ = ["ChunkRegistry"]
+__all__ = ["ChunkRegistry", "ShapeTable"]
+
+
+@dataclass
+class ShapeTable:
+    """Replicated per-sample shape index for the columnar (arena) path.
+
+    Holds what the arena planner needs to compute scatter destinations
+    *before* the bytes arrive: every sample's id and node/edge counts
+    (one array per group member, mirroring the offset tables) plus the
+    dataset-wide feature/output dims.  Built from an untimed header sweep
+    of each member's local chunk and one allgather alongside the size
+    exchange — only when the columnar data plane is enabled.
+    """
+
+    sample_ids: list[np.ndarray]  # per group-rank: (chunk_size,) int64
+    n_nodes: list[np.ndarray]  # per group-rank: (chunk_size,) int64
+    n_edges: list[np.ndarray]  # per group-rank: (chunk_size,) int64
+    feature_dim: int
+    output_dim: int
+
+    def __post_init__(self) -> None:
+        if not (len(self.sample_ids) == len(self.n_nodes) == len(self.n_edges)):
+            raise ValueError("shape table needs one array triple per member")
+        for r, (sids, nn, ne) in enumerate(
+            zip(self.sample_ids, self.n_nodes, self.n_edges)
+        ):
+            if not (sids.size == nn.size == ne.size):
+                raise ValueError(f"shape table arrays of member {r} disagree in length")
 
 
 @dataclass
@@ -24,6 +53,7 @@ class ChunkRegistry:
 
     layout: ChunkLayout
     offsets: list[np.ndarray]  # per group-rank: (chunk_size + 1,) byte offsets
+    shapes: Optional[ShapeTable] = None  # present only on the columnar path
 
     def __post_init__(self) -> None:
         if len(self.offsets) != self.layout.width:
@@ -83,6 +113,29 @@ class ChunkRegistry:
             offs[sel] = table[li]
             sizes[sel] = table[li + 1] - table[li]
         return owners, offs, sizes
+
+    def shape_batch(
+        self, global_indices: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorised (sample_id, n_nodes, n_edges) lookup over an index array.
+
+        Requires a :class:`ShapeTable` (columnar path); raises otherwise.
+        """
+        if self.shapes is None:
+            raise ValueError("registry has no shape table (columnar data plane disabled)")
+        idx = np.asarray(global_indices, dtype=np.int64)
+        owners = np.atleast_1d(self.layout.owner_of(idx))
+        locals_ = idx - self.layout.bounds[owners]
+        sids = np.empty(idx.size, dtype=np.int64)
+        nn = np.empty(idx.size, dtype=np.int64)
+        ne = np.empty(idx.size, dtype=np.int64)
+        for r in np.unique(owners):
+            sel = owners == r
+            li = locals_[sel]
+            sids[sel] = self.shapes.sample_ids[int(r)][li]
+            nn[sel] = self.shapes.n_nodes[int(r)][li]
+            ne[sel] = self.shapes.n_edges[int(r)][li]
+        return sids, nn, ne
 
     def buffer_bytes(self, group_rank: int) -> int:
         return int(self.offsets[group_rank][-1])

@@ -47,19 +47,20 @@ from ..dataplane import (
     get_transport,
 )
 from ..dataplane.transport import Transport
-from ..graphs import AtomicGraph
+from ..graphs import SAMPLE_ALLOCATIONS, AtomicGraph, BatchArena
 from ..mpi import Comm
-from ..storage import SampleStats, decode_time, unpack_graph
+from ..storage import SampleStats, decode_time, peek_header, scatter_time, unpack_graph
 from .chunking import ChunkLayout
 from .config import DataPlaneOptions, DDStoreConfig, ResilienceOptions
 from .preloader import DataSource
-from .registry import ChunkRegistry
+from .registry import ChunkRegistry, ShapeTable
 
 __all__ = ["DDStore", "FetchStats", "FETCH_STAGES", "StoreClosedError"]
 
 #: The instrumented stages of one ``get_samples`` call, in pipeline order
-#: ("retry" charges the backoff waits between fetch re-issues).
-FETCH_STAGES = ("plan", "lock", "get", "retry", "copy", "cache", "decode")
+#: ("retry" charges the backoff waits between fetch re-issues; "scatter"
+#: is the columnar path's arena assembly, which replaces "decode").
+FETCH_STAGES = ("plan", "lock", "get", "retry", "copy", "cache", "decode", "scatter")
 
 
 class StoreClosedError(RuntimeError):
@@ -241,6 +242,15 @@ class DDStore:
         # Exchange size tables and build the replicated registry.
         sizes_all = yield from group_comm.allgather(result.sizes)
         registry = ChunkRegistry.from_sample_sizes(layout, sizes_all)
+        if config.dataplane.columnar:
+            # The arena scatter path needs every sample's shape *before*
+            # its bytes arrive.  Sweep the local chunk's record headers
+            # (pure wall-clock work over already-resident DRAM) and
+            # replicate the triples with one extra allgather riding the
+            # same create-time collective phase as the size exchange.
+            shape_row = cls._local_shape_row(result)
+            shape_rows = yield from group_comm.allgather(shape_row)
+            registry.shapes = cls._build_shape_table(shape_rows)
         largest = registry.max_sample_bytes()
         if config.max_read_bytes is not None and config.max_read_bytes < largest:
             raise ValueError(
@@ -273,6 +283,62 @@ class DDStore:
         store._charged_bytes = buffer_nbytes
         yield from comm.barrier()
         return store
+
+    @staticmethod
+    def _local_shape_row(result) -> np.ndarray:
+        """Header-sweep this member's chunk into one allgatherable row:
+        ``[f_dim, y_dim, sample_ids..., n_nodes..., n_edges...]``."""
+        k = int(result.sizes.size)
+        sids = np.empty(k, np.int64)
+        nn = np.empty(k, np.int64)
+        ne = np.empty(k, np.int64)
+        f_dim = y_dim = -1
+        buf = result.buffer
+        off = 0
+        for i in range(k):
+            nb = int(result.sizes[i])
+            sid, n_nodes, n_edges, fd, yd = peek_header(buf[off : off + nb])
+            sids[i], nn[i], ne[i] = sid, n_nodes, n_edges
+            if f_dim == -1:
+                f_dim, y_dim = fd, yd
+            elif (fd, yd) != (f_dim, y_dim):
+                raise ValueError(
+                    "columnar data plane requires uniform feature/output dims: "
+                    f"sample {sid} has ({fd}, {yd}), chunk started with "
+                    f"({f_dim}, {y_dim})"
+                )
+            off += nb
+        return np.concatenate(([f_dim, y_dim], sids, nn, ne)).astype(np.int64)
+
+    @staticmethod
+    def _build_shape_table(shape_rows: list[np.ndarray]) -> ShapeTable:
+        sids_all: list[np.ndarray] = []
+        nn_all: list[np.ndarray] = []
+        ne_all: list[np.ndarray] = []
+        f_dim = y_dim = -1
+        for row in shape_rows:
+            row = np.asarray(row, np.int64)
+            fd, yd = int(row[0]), int(row[1])
+            k = (row.size - 2) // 3
+            if fd != -1:  # members with empty chunks report no dims
+                if f_dim == -1:
+                    f_dim, y_dim = fd, yd
+                elif (fd, yd) != (f_dim, y_dim):
+                    raise ValueError(
+                        "columnar data plane requires uniform feature/output "
+                        f"dims across members: got ({fd}, {yd}) and "
+                        f"({f_dim}, {y_dim})"
+                    )
+            sids_all.append(row[2 : 2 + k].copy())
+            nn_all.append(row[2 + k : 2 + 2 * k].copy())
+            ne_all.append(row[2 + 2 * k : 2 + 3 * k].copy())
+        return ShapeTable(
+            sample_ids=sids_all,
+            n_nodes=nn_all,
+            n_edges=ne_all,
+            feature_dim=max(f_dim, 0),
+            output_dim=max(y_dim, 0),
+        )
 
     # ------------------------------------------------------------------
     # inspection
@@ -372,6 +438,7 @@ class DDStore:
             for p in local_positions:
                 off, nb = int(offsets[p]), int(sizes[p])
                 blobs[p] = buf[off : off + nb].copy()
+            SAMPLE_ALLOCATIONS.bump(int(local_positions.size))
             copy_times = self._local_copy_base + sizes[local_positions] / self._local_copy_bw
             latencies[local_positions] = copy_times
             local_time = float(copy_times.sum())
@@ -388,6 +455,7 @@ class DDStore:
                     missed.append(p)
                     continue
                 blobs[p] = entry.copy()
+                SAMPLE_ALLOCATIONS.bump()
                 # A hit still costs the DRAM copy out of the cache.
                 hit_cost = self._local_copy_base + entry.nbytes / self._local_copy_bw
                 latencies[p] = hit_cost
@@ -428,33 +496,10 @@ class DDStore:
                     end=engine.now,
                     n_reads=plan.n_reads,
                 )
-            res = self.config.resilience
             t_fetch = engine.now
-            if res.enabled:
-                reroute = (
-                    self._reroute if res.failover and self.n_replicas > 1 else None
-                )
-                retry_out = yield from fetch_with_retry(
-                    self.transport,
-                    plan.reads,
-                    policy=RetryPolicy.from_options(res),
-                    engine=engine,
-                    n_streams=max(1, n_workers),
-                    reroute=reroute,
-                    obs=obs,
-                    track=track,
-                )
-                outcome = retry_out.outcome
-                d_timeouts = retry_out.n_timeouts
-                d_retries = retry_out.n_retries
-                d_failovers = retry_out.n_failovers
-                stats.n_timeouts += d_timeouts
-                stats.n_retries += d_retries
-                stats.n_failovers += d_failovers
-            else:
-                outcome = yield from self.transport.fetch(
-                    plan.reads, n_streams=max(1, n_workers)
-                )
+            outcome, d_timeouts, d_retries, d_failovers = yield from self._fetch_reads(
+                plan.reads, n_streams=max(1, n_workers)
+            )
             if obs.tracing:
                 obs.tracer.record(
                     "store.fetch",
@@ -530,6 +575,7 @@ class DDStore:
             latencies += dec
             if decode:
                 graphs = [unpack_graph(b) for b in blobs]
+                SAMPLE_ALLOCATIONS.bump(len(blobs))
             else:
                 graphs = [SampleStats.from_blob(b) for b in blobs]
 
@@ -600,6 +646,279 @@ class DDStore:
                 n_cache_hits=d_hits,
             )
         return graphs
+
+    def get_batch_arena(
+        self, indices: Sequence[int], arena: BatchArena, n_workers: int = 1
+    ) -> Generator:
+        """Fetch ``indices`` scattering payload bytes straight into ``arena``.
+
+        The columnar hot path: scatter destinations — ``(field, offset)``
+        pairs inside the arena's preallocated buffers — are computed from
+        the registry's shape index *before* any bytes move, so local
+        copies, cache hits, and wire payloads all land directly in their
+        final batch position.  No per-sample ndarray is ever allocated and
+        the "decode" stage disappears; in its place one vectorised
+        "scatter" pass (segment copies + the edge-index shift) is charged
+        via :func:`~repro.storage.scatter_time`.  Requires the columnar
+        data plane (``DataPlaneOptions(columnar=True)``), which replicates
+        the shape index at create time.  Returns the per-sample latency
+        array; the batch itself is read out of ``arena``
+        (``collate(arena=...)``).
+        """
+        if self._closed:
+            raise StoreClosedError(
+                "this DDStore handle has been closed/shut down; create a new "
+                "store (or reshard) before fetching samples"
+            )
+        if self.registry.shapes is None:
+            raise ValueError(
+                "get_batch_arena needs the columnar data plane: create the "
+                "store with DataPlaneOptions(columnar=True)"
+            )
+        idx = np.asarray(list(indices), dtype=np.int64)
+        engine = self.comm.engine
+        stats = self.stats
+        obs = self.comm.communicator.world.obs
+        track = self.comm.world_rank
+        call_stages: dict[str, float] = {}
+
+        def charge(stage: str, seconds: float) -> None:
+            if seconds:
+                stats.add_stage(stage, seconds)
+                call_stages[stage] = call_stages.get(stage, 0.0) + seconds
+
+        t_start = engine.now
+        shapes = self.registry.shapes
+        sids, nn, ne = self.registry.shape_batch(idx)
+        arena.reset(nn, ne, shapes.feature_dim, shapes.output_dim, sids)
+        if idx.size == 0:
+            return np.zeros(0, dtype=np.float64)
+        owners, offsets, sizes = self.registry.locate_batch(idx)
+        me = self.group_comm.rank
+        local_mask = owners == me
+        smap = self.planner.plan_arena(nn, ne, shapes.feature_dim, shapes.output_dim)
+        fields = tuple(arena.field_bytes[name] for name in BatchArena._FIELDS)
+        latencies = np.zeros(idx.size, dtype=np.float64)
+
+        # -- local samples: scatter straight out of the own buffer ----------
+        local_positions = np.nonzero(local_mask)[0]
+        local_time = 0.0
+        if local_positions.size:
+            buf = self.transport.local_buffer()
+            for p in local_positions:
+                off, nb = int(offsets[p]), int(sizes[p])
+                smap.scatter(int(p), 0, nb, buf[off : off + nb], fields)
+            copy_times = self._local_copy_base + sizes[local_positions] / self._local_copy_bw
+            latencies[local_positions] = copy_times
+            local_time = float(copy_times.sum())
+
+        # -- remote samples: column-cache probe, then plan + fetch ----------
+        remote_positions = np.nonzero(~local_mask)[0]
+        fetch_positions = remote_positions
+        cache_time = 0.0
+        if self.cache.enabled and remote_positions.size:
+            missed = []
+            for p in remote_positions:
+                entry = self.cache.get_columns(int(idx[p]))
+                if entry is None:
+                    missed.append(p)
+                    continue
+                # Cached column payloads are header-stripped: their bytes
+                # start at sample offset 32 (the AGRF record header).
+                smap.scatter(int(p), 32, 32 + int(entry.nbytes), entry, fields)
+                hit_cost = self._local_copy_base + entry.nbytes / self._local_copy_bw
+                latencies[p] = hit_cost
+                cache_time += hit_cost
+            fetch_positions = np.asarray(missed, dtype=np.int64)
+
+        n_zero = 0
+        if fetch_positions.size:
+            empty = fetch_positions[sizes[fetch_positions] == 0]
+            if empty.size:
+                n_zero = int(empty.size)
+                fetch_positions = fetch_positions[sizes[fetch_positions] > 0]
+
+        plan = None
+        d_timeouts = d_retries = d_failovers = 0
+        if fetch_positions.size:
+            plan = self.planner.plan(
+                owners[fetch_positions] + self._group_base,
+                offsets[fetch_positions],
+                sizes[fetch_positions],
+                positions=fetch_positions,
+            )
+            plan_s = _PLAN_BASE_S + _PLAN_S_PER_REQ * int(fetch_positions.size)
+            t_plan = engine.now
+            yield engine.timeout(plan_s)
+            charge("plan", plan_s)
+            if obs.tracing:
+                obs.tracer.record(
+                    "store.plan",
+                    cat="store.stage",
+                    track=track,
+                    lane=1,
+                    start=t_plan,
+                    end=engine.now,
+                    n_reads=plan.n_reads,
+                )
+            t_fetch = engine.now
+            outcome, d_timeouts, d_retries, d_failovers = yield from self._fetch_reads(
+                plan.reads, n_streams=max(1, n_workers)
+            )
+            if obs.tracing:
+                obs.tracer.record(
+                    "store.fetch",
+                    cat="store.stage",
+                    track=track,
+                    lane=1,
+                    start=t_fetch,
+                    end=engine.now,
+                    n_reads=plan.n_reads,
+                    nbytes=plan.total_bytes,
+                )
+            read_lat = outcome.latencies
+            for r, (read, payload) in enumerate(zip(plan.reads, outcome.payloads)):
+                lat = float(read_lat[r]) if read_lat is not None else 0.0
+                for sl in read.slices:
+                    piece = payload[sl.read_offset : sl.read_offset + sl.nbytes]
+                    smap.scatter(
+                        sl.position,
+                        sl.sample_offset,
+                        sl.sample_offset + sl.nbytes,
+                        piece,
+                        fields,
+                    )
+                    latencies[sl.position] = max(latencies[sl.position], lat)
+                    if (
+                        self.cache.enabled
+                        and sl.sample_offset == 0
+                        and sl.nbytes == int(sizes[sl.position])
+                    ):
+                        # Whole sample in one slice: park its column bytes
+                        # (header stripped) for future arena batches.
+                        self.cache.put_columns(
+                            int(idx[sl.position]),
+                            payload[sl.read_offset + 32 : sl.read_offset + sl.nbytes],
+                        )
+            for stage, seconds in outcome.stage_seconds.items():
+                charge(stage, seconds)
+
+        if local_time:
+            local_wait = local_time / max(1, n_workers)
+            t_copy = engine.now
+            yield engine.timeout(local_wait)
+            charge("copy", local_wait)
+            if obs.tracing:
+                obs.tracer.record(
+                    "store.copy",
+                    cat="store.stage",
+                    track=track,
+                    lane=1,
+                    start=t_copy,
+                    end=engine.now,
+                    n=int(local_positions.size),
+                )
+        if cache_time:
+            cache_wait = cache_time / max(1, n_workers)
+            t_cache = engine.now
+            yield engine.timeout(cache_wait)
+            charge("cache", cache_wait)
+            if obs.tracing:
+                obs.tracer.record(
+                    "store.cache",
+                    cat="store.stage",
+                    track=track,
+                    lane=1,
+                    start=t_cache,
+                    end=engine.now,
+                )
+
+        # -- arena assembly (replaces per-sample decode) --------------------
+        arena.shift_edges()
+        scatter_nbytes = int(sizes.sum()) + int(arena.edge_index.nbytes)
+        scatter_wait = scatter_time(
+            self._machine, scatter_nbytes, smap.n_segments
+        ) / max(1, n_workers)
+        t_scatter = engine.now
+        yield engine.timeout(scatter_wait)
+        charge("scatter", scatter_wait)
+        if obs.tracing:
+            obs.tracer.record(
+                "store.scatter",
+                cat="store.stage",
+                track=track,
+                lane=1,
+                start=t_scatter,
+                end=engine.now,
+                n=int(idx.size),
+                n_segments=smap.n_segments,
+            )
+        latencies += scatter_wait / idx.size
+
+        # -- bookkeeping ----------------------------------------------------
+        n_fetched = int(fetch_positions.size) if plan is not None else 0
+        n_remote_served = n_fetched + n_zero
+        bytes_local = int(sizes[local_positions].sum()) if local_positions.size else 0
+        bytes_remote = int(sizes[fetch_positions].sum()) if n_fetched else 0
+        stats.n_local += int(local_positions.size)
+        stats.n_remote += n_remote_served
+        stats.bytes_local += bytes_local
+        stats.bytes_remote += bytes_remote
+        if plan is not None:
+            stats.n_get_calls += plan.n_reads
+            stats.bytes_transferred += plan.total_bytes
+        cs = self.cache.stats.as_dict()
+        base = self._cache_base
+        d_hits = cs["hits"] - base["hits"]
+        d_misses = cs["misses"] - base["misses"]
+        d_evictions = cs["evictions"] - base["evictions"]
+        d_hit_bytes = cs["hit_bytes"] - base["hit_bytes"]
+        stats.n_cache_hits += d_hits
+        stats.n_cache_misses += d_misses
+        stats.n_cache_evictions += d_evictions
+        stats.bytes_cache_hits += d_hit_bytes
+        self._cache_base = cs
+        stats.fetch_time += engine.now - t_start
+        if self.record_latencies:
+            stats.latencies.extend(latencies.tolist())
+
+        m = obs.metrics
+        if m.enabled:
+            for cname, val in (
+                ("n_local", int(local_positions.size)),
+                ("n_remote", n_remote_served),
+                ("bytes_local", bytes_local),
+                ("bytes_remote", bytes_remote),
+                ("n_get_calls", plan.n_reads if plan is not None else 0),
+                ("bytes_transferred", plan.total_bytes if plan is not None else 0),
+                ("n_cache_hits", d_hits),
+                ("n_cache_misses", d_misses),
+                ("n_cache_evictions", d_evictions),
+                ("bytes_cache_hits", d_hit_bytes),
+                ("n_timeouts", d_timeouts),
+                ("n_retries", d_retries),
+                ("n_failovers", d_failovers),
+            ):
+                if val:
+                    m.counter("ddstore.fetch", counter=cname, rank=track).inc(val)
+            for stage, seconds in call_stages.items():
+                m.counter(
+                    "ddstore.stage_seconds", stage=stage, rank=track
+                ).inc(seconds)
+        if obs.tracing:
+            obs.tracer.record(
+                "store.get_batch",
+                cat="store",
+                track=track,
+                lane=1,
+                start=t_start,
+                end=engine.now,
+                n=int(idx.size),
+                n_local=int(local_positions.size),
+                n_remote=n_remote_served,
+                n_cache_hits=d_hits,
+            )
+        return latencies
 
     def prefetch_wave(
         self, batch_indices: Sequence[Sequence[int]], n_workers: int = 1
@@ -673,41 +992,23 @@ class DDStore:
         # pipelines, so it gets the same software-path concurrency.
         n_streams = max(1, n_workers) * len(groups)
 
-        res = self.config.resilience
-        d_timeouts = d_retries = d_failovers = 0
-        if res.enabled:
-            reroute = (
-                self._reroute if res.failover and self.n_replicas > 1 else None
-            )
-            retry_out = yield from fetch_with_retry(
-                self.transport,
-                plan.reads,
-                policy=RetryPolicy.from_options(res),
-                engine=engine,
-                n_streams=n_streams,
-                reroute=reroute,
-                obs=obs,
-                track=track,
-            )
-            outcome = retry_out.outcome
-            d_timeouts = retry_out.n_timeouts
-            d_retries = retry_out.n_retries
-            d_failovers = retry_out.n_failovers
-            stats.n_timeouts += d_timeouts
-            stats.n_retries += d_retries
-            stats.n_failovers += d_failovers
-        else:
-            outcome = yield from self.transport.fetch(
-                plan.reads, n_streams=n_streams
-            )
+        outcome, d_timeouts, d_retries, d_failovers = yield from self._fetch_reads(
+            plan.reads, n_streams=n_streams
+        )
         for stage, seconds in outcome.stage_seconds.items():
             stats.add_prefetch_stage(stage, seconds)
 
         blobs: list[Optional[np.ndarray]] = [None] * plan.n_requests
         lat = np.zeros(plan.n_requests, dtype=np.float64)
         self._scatter(plan, outcome, blobs, lat)
+        columnar = self.config.dataplane.columnar
         for key, blob in zip(keys, blobs):
-            self.cache.put(key, blob)
+            if columnar:
+                # Arena-mode consumers scatter cache hits straight into
+                # field buffers, so park the header-stripped column bytes.
+                self.cache.put_columns(key, blob[32:])
+            else:
+                self.cache.put(key, blob)
 
         stats.n_prefetch_waves += 1
         stats.n_prefetched += plan.n_requests
@@ -744,6 +1045,43 @@ class DDStore:
             )
         return plan.n_requests
 
+    def _fetch_reads(self, reads, n_streams: int) -> Generator:
+        """Execute planned reads through the configured resilience ladder.
+
+        The single wire-issue point shared by the demand path, the wave
+        prefetcher, and the arena path: with resilience enabled reads ride
+        the timeout/retry/failover machinery, otherwise they go straight
+        to the transport.  Returns
+        ``(outcome, n_timeouts, n_retries, n_failovers)`` with the
+        cumulative stats counters already updated.
+        """
+        res = self.config.resilience
+        if res.enabled:
+            reroute = (
+                self._reroute if res.failover and self.n_replicas > 1 else None
+            )
+            retry_out = yield from fetch_with_retry(
+                self.transport,
+                reads,
+                policy=RetryPolicy.from_options(res),
+                engine=self.comm.engine,
+                n_streams=n_streams,
+                reroute=reroute,
+                obs=self.comm.communicator.world.obs,
+                track=self.comm.world_rank,
+            )
+            self.stats.n_timeouts += retry_out.n_timeouts
+            self.stats.n_retries += retry_out.n_retries
+            self.stats.n_failovers += retry_out.n_failovers
+            return (
+                retry_out.outcome,
+                retry_out.n_timeouts,
+                retry_out.n_retries,
+                retry_out.n_failovers,
+            )
+        outcome = yield from self.transport.fetch(reads, n_streams=n_streams)
+        return outcome, 0, 0, 0
+
     @staticmethod
     def _scatter(plan, outcome, blobs, latencies) -> None:
         """Reassemble per-sample payloads out of the reads' payloads."""
@@ -761,9 +1099,11 @@ class DDStore:
                 piece = payload[sl.read_offset : sl.read_offset + sl.nbytes]
                 if sl.sample_offset == 0 and sl.nbytes == totals[p]:
                     blobs[p] = piece.copy()  # whole sample in one slice
+                    SAMPLE_ALLOCATIONS.bump()
                 else:
                     if blobs[p] is None:
                         blobs[p] = np.empty(totals[p], dtype=np.uint8)
+                        SAMPLE_ALLOCATIONS.bump()
                     blobs[p][sl.sample_offset : sl.sample_offset + sl.nbytes] = piece
                 latencies[p] = max(latencies[p], lat)
 

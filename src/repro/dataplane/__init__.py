@@ -22,7 +22,7 @@ caches can be added without touching :class:`~repro.core.store.DDStore`:
 """
 
 from .cache import CacheStats, SampleCache
-from .planner import FetchPlan, FetchPlanner, PlannedRead, ReadSlice
+from .planner import ArenaScatterMap, FetchPlan, FetchPlanner, PlannedRead, ReadSlice
 from .scheduler import EpochScheduler
 from .registry import (
     available_frameworks,
@@ -42,6 +42,7 @@ __all__ = [
     "FetchPlan",
     "PlannedRead",
     "ReadSlice",
+    "ArenaScatterMap",
     "SampleCache",
     "CacheStats",
     "EpochScheduler",

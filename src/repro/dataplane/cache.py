@@ -76,6 +76,10 @@ class SampleCache:
         self.used_bytes = 0
         self.stats = CacheStats()
         self._entries: "OrderedDict[int, np.ndarray]" = OrderedDict()
+        # Keys whose entry holds a header-stripped column payload (arena
+        # mode) rather than a whole packed blob.  Kept as a marker set so
+        # row consumers never misread a column entry and vice versa.
+        self._column_keys: set[int] = set()
         # Belady state: per-key FIFO of future access positions plus the
         # logical clock (position of the access currently being served).
         self._future: dict[int, deque] = {}
@@ -144,13 +148,36 @@ class SampleCache:
         mutate it.
         """
         entry = self._entries.get(key)
-        if entry is None:
+        if entry is None or key in self._column_keys:
             self.stats.misses += 1
             return None
         self._entries.move_to_end(key)
         self.stats.hits += 1
         self.stats.hit_bytes += int(entry.nbytes)
         return entry
+
+    def get_columns(self, key: int) -> Optional[np.ndarray]:
+        """Header-stripped column payload for ``key``, or None on a miss.
+
+        Only entries parked via :meth:`put_columns` are served; a resident
+        whole-blob entry counts as a miss (its bytes include the record
+        header, which the arena scatter path must never see).
+        """
+        entry = self._entries.get(key)
+        if entry is None or key not in self._column_keys:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        self.stats.hit_bytes += int(entry.nbytes)
+        return entry
+
+    def put_columns(self, key: int, payload: np.ndarray) -> bool:
+        """Park a header-stripped column slice under ``key`` (arena mode)."""
+        if not self.put(key, payload):
+            return False
+        self._column_keys.add(key)
+        return True
 
     def put(self, key: int, payload: np.ndarray) -> bool:
         """Insert a payload, evicting entries to fit the byte budget.
@@ -172,9 +199,11 @@ class SampleCache:
         if refreshing:
             old = self._entries.pop(key)
             self.used_bytes -= int(old.nbytes)
+        self._column_keys.discard(key)
         while self.used_bytes + nbytes > self.capacity_bytes:
             victim_key = self._victim()
             victim = self._entries.pop(victim_key)
+            self._column_keys.discard(victim_key)
             self.used_bytes -= int(victim.nbytes)
             self.stats.evictions += 1
             self.stats.evicted_bytes += int(victim.nbytes)
@@ -191,6 +220,7 @@ class SampleCache:
             self.stats.evictions += 1
             self.stats.evicted_bytes += int(entry.nbytes)
         self._entries.clear()
+        self._column_keys.clear()
         self.used_bytes = 0
         self._future = {}
         self._clock = 0

@@ -24,7 +24,65 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-__all__ = ["ReadSlice", "PlannedRead", "FetchPlan", "FetchPlanner"]
+__all__ = ["ReadSlice", "PlannedRead", "FetchPlan", "FetchPlanner", "ArenaScatterMap"]
+
+#: Field order shared with the batch arena: id is the index into this tuple.
+ARENA_FIELDS = ("positions", "node_features", "edge_index", "y")
+
+
+class ArenaScatterMap:
+    """Precomputed (field, arena_offset) destinations for one batch.
+
+    For every request position the map holds byte segments
+    ``(src_lo, src_hi, field_id, dest_lo)``: bytes ``[src_lo, src_hi)`` of
+    that sample's packed row record land at ``dest_lo`` inside arena field
+    ``field_id``.  A sample contributes up to five segments — positions,
+    features, edge sources, edge targets (the two edge planes interleave
+    across samples in the arena), and y.  Because destinations are pure
+    functions of the batch's shape table, payload bytes scatter straight
+    off the wire with no per-sample decode or allocation.
+    """
+
+    def __init__(self, segments: list[list[tuple[int, int, int, int]]]) -> None:
+        self._segments = segments
+        self.n_segments = sum(len(s) for s in segments)
+
+    @property
+    def n_positions(self) -> int:
+        return len(self._segments)
+
+    def segments_for(self, position: int) -> list[tuple[int, int, int, int]]:
+        return self._segments[position]
+
+    def scatter(
+        self,
+        position: int,
+        sample_lo: int,
+        sample_hi: int,
+        src,
+        fields: Sequence[np.ndarray],
+    ) -> int:
+        """Scatter sample bytes ``[sample_lo, sample_hi)`` into the arena.
+
+        ``src`` holds exactly that byte range of the packed sample (a
+        payload slice — possibly a partial sample when a planned read was
+        split); ``fields`` are the arena's flat uint8 field buffers in
+        :data:`ARENA_FIELDS` order.  Returns bytes written (header bytes
+        and out-of-range spans are skipped).
+        """
+        src_arr = src if isinstance(src, np.ndarray) else np.frombuffer(src, np.uint8)
+        written = 0
+        for src_lo, src_hi, field_id, dest_lo in self._segments[position]:
+            lo = max(src_lo, sample_lo)
+            hi = min(src_hi, sample_hi)
+            if lo >= hi:
+                continue
+            dest = dest_lo + (lo - src_lo)
+            fields[field_id][dest : dest + (hi - lo)] = src_arr[
+                lo - sample_lo : hi - sample_lo
+            ]
+            written += hi - lo
+        return written
 
 
 @dataclass(frozen=True)
@@ -170,6 +228,58 @@ class FetchPlanner:
             [np.asarray(g[2], dtype=np.int64).reshape(-1) for g in groups]
         )
         return self.plan(targets, offsets, sizes, positions=positions)
+
+    def plan_arena(
+        self,
+        node_counts: Sequence[int] | np.ndarray,
+        edge_counts: Sequence[int] | np.ndarray,
+        feature_dim: int,
+        output_dim: int,
+        header_nbytes: int = 32,
+    ) -> ArenaScatterMap:
+        """Compute per-position arena scatter destinations for one batch.
+
+        Destinations derive purely from the batch's shape table (known
+        ahead of the fetch from the registry's shape index), so payloads
+        can be scattered the moment they arrive.  Edge planes: the packed
+        row stores sources then targets contiguously; the arena stores the
+        batch's full source plane then the full target plane, so each
+        sample's edge bytes split into two segments.
+        """
+        nn = np.asarray(node_counts, dtype=np.int64)
+        ne = np.asarray(edge_counts, dtype=np.int64)
+        if nn.size != ne.size:
+            raise ValueError("node_counts/edge_counts must have equal length")
+        ptr = np.zeros(nn.size + 1, np.int64)
+        np.cumsum(nn, out=ptr[1:])
+        eptr = np.zeros(ne.size + 1, np.int64)
+        np.cumsum(ne, out=eptr[1:])
+        e_total = int(eptr[-1])
+        segments: list[list[tuple[int, int, int, int]]] = []
+        for p in range(nn.size):
+            n = int(nn[p])
+            e = int(ne[p])
+            lo = header_nbytes
+            segs: list[tuple[int, int, int, int]] = []
+            pos_nb = 4 * n * 3
+            if pos_nb:
+                segs.append((lo, lo + pos_nb, 0, 12 * int(ptr[p])))
+            lo += pos_nb
+            feat_nb = 4 * n * feature_dim
+            if feat_nb:
+                segs.append((lo, lo + feat_nb, 1, 4 * feature_dim * int(ptr[p])))
+            lo += feat_nb
+            edge_nb = 4 * e
+            if edge_nb:
+                segs.append((lo, lo + edge_nb, 2, 4 * int(eptr[p])))
+                lo += edge_nb
+                segs.append((lo, lo + edge_nb, 2, 4 * e_total + 4 * int(eptr[p])))
+                lo += edge_nb
+            y_nb = 4 * output_dim
+            if y_nb:
+                segs.append((lo, lo + y_nb, 3, y_nb * p))
+            segments.append(segs)
+        return ArenaScatterMap(segments)
 
     def _coalesced(
         self,

@@ -110,6 +110,24 @@ class EpochScheduler:
             cache.set_future(
                 int(i) for batch in self.batches for i in np.asarray(batch).reshape(-1)
             )
+        # Arena lifecycle: with the columnar data plane every in-flight
+        # batch holds one arena, so pre-size depth+1 of them (the window
+        # plus the batch compute is consuming) to the largest scheduled
+        # batch — steady state then recycles without ever reallocating.
+        # Pure wall-clock work; the row path has no pool and is untouched.
+        pool = getattr(loader.dataset, "arena_pool", None)
+        if pool is not None and n:
+            hint = getattr(loader.dataset, "arena_hint", None)
+            if hint is not None:
+                dims = [hint(batch) for batch in self.batches]
+                pool.warm(
+                    self.depth + 1,
+                    max(d[0] for d in dims),
+                    max(d[1] for d in dims),
+                    max(d[2] for d in dims),
+                    dims[0][3],
+                    dims[0][4],
+                )
         # Wave partition: wave id per batch + the wave's batch span.
         self._wave_of: list[int] = []
         self._waves: list[tuple[int, int]] = []  # [lo, hi) batch indices

@@ -221,6 +221,11 @@ class Trainer:
             phases.add("optimizer", engine.now - t0)
             stage("optimizer", t0, step=step)
 
+            # Compute is done with this batch: recycle its arena (no-op on
+            # the row path).  Must come *after* the GPU stages — the batch
+            # views alias the arena buffers until here.
+            loaded.release()
+
         elapsed = engine.now - t_epoch
         sched.finish()
         # Overlap efficiency: how much of the loading pipeline's own time
@@ -309,5 +314,6 @@ class Trainer:
             yield engine.timeout(self.gpu.forward_time(work))
             losses.append(self.dmodel.model.evaluate_loss(loaded.batch))
             weights.append(loaded.batch.n_graphs)
+            loaded.release()
         sched.finish()
         return float(np.average(losses, weights=weights))

@@ -1,6 +1,13 @@
 """Atomistic graph datasets: structures, collation, and synthetic generators."""
 
-from .batch import GraphBatch, collate
+from .batch import (
+    SAMPLE_ALLOCATIONS,
+    AllocationCounter,
+    ArenaPool,
+    BatchArena,
+    GraphBatch,
+    collate,
+)
 from .datasets import (
     DATASETS,
     DatasetSpec,
@@ -19,6 +26,10 @@ __all__ = [
     "GraphStats",
     "GraphBatch",
     "collate",
+    "BatchArena",
+    "ArenaPool",
+    "AllocationCounter",
+    "SAMPLE_ALLOCATIONS",
     "IsingGenerator",
     "ising_energy",
     "MoleculeGenerator",

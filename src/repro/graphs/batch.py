@@ -3,6 +3,15 @@
 The paper's "CPU-Batching" phase (Fig 5) is exactly this operation: the
 samples fetched by the data loader are concatenated into one disjoint
 union so a single message-passing pass covers the whole batch.
+
+Two ways to build that union:
+
+* the classic **row path** — a list of :class:`AtomicGraph` objects is
+  concatenated field by field (one fresh allocation per sample per field);
+* the **arena path** — a :class:`BatchArena` preallocates one flat buffer
+  per field, the fetch layer scatters wire bytes straight into them, and
+  :func:`collate` merely wraps the arena's views into a
+  :class:`GraphBatch` (zero per-sample allocations).
 """
 
 from __future__ import annotations
@@ -14,7 +23,38 @@ import numpy as np
 
 from .graph import AtomicGraph
 
-__all__ = ["GraphBatch", "collate"]
+__all__ = [
+    "GraphBatch",
+    "collate",
+    "BatchArena",
+    "ArenaPool",
+    "AllocationCounter",
+    "SAMPLE_ALLOCATIONS",
+]
+
+
+class AllocationCounter:
+    """Counts per-sample ndarray allocations on the fetch/collate path.
+
+    The columnar scatter path must stay at zero; the row path bumps this
+    at every per-sample copy site, which is what the ``ablation-columnar``
+    bench asserts in ``--check`` mode.
+    """
+
+    __slots__ = ("count",)
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def bump(self, n: int = 1) -> None:
+        self.count += n
+
+    def reset(self) -> None:
+        self.count = 0
+
+
+#: Process-global counter shared by the store's row path and the benches.
+SAMPLE_ALLOCATIONS = AllocationCounter()
 
 
 @dataclass
@@ -58,8 +98,165 @@ class GraphBatch:
         )
 
 
-def collate(graphs: Sequence[AtomicGraph]) -> GraphBatch:
-    """Concatenate graphs into one batch, shifting edge indices."""
+class BatchArena:
+    """Preallocated per-field buffers that one batch is assembled into.
+
+    Backing stores are flat ``uint8`` arrays that only ever grow (2x
+    headroom on resize), so a recycled arena serves any batch whose field
+    sizes fit without touching the allocator.  ``reset`` shapes typed
+    views over buffer prefixes for the batch at hand; the fetch layer
+    scatters payload bytes into ``field_bytes`` and :meth:`as_batch`
+    wraps the views into a :class:`GraphBatch` — no per-sample arrays
+    anywhere.
+    """
+
+    _FIELDS = ("positions", "node_features", "edge_index", "y")
+
+    def __init__(self) -> None:
+        self._stores: dict[str, np.ndarray] = {
+            name: np.empty(0, np.uint8) for name in self._FIELDS
+        }
+        self.node_counts = np.zeros(0, np.int64)
+        self.edge_counts = np.zeros(0, np.int64)
+        self.ptr = np.zeros(1, np.int64)
+        self.edge_ptr = np.zeros(1, np.int64)
+        self.sample_ids = np.zeros(0, np.int64)
+        self.node_graph = np.zeros(0, np.int64)
+        self.positions = np.zeros((0, 3), np.float32)
+        self.node_features = np.zeros((0, 0), np.float32)
+        self.edge_index = np.zeros((2, 0), np.int32)
+        self.y = np.zeros((0, 0), np.float32)
+        self.field_bytes: dict[str, np.ndarray] = {}
+        self._shifted = False
+
+    def _backing(self, name: str, nbytes: int) -> np.ndarray:
+        store = self._stores[name]
+        if store.nbytes < nbytes:
+            store = np.empty(max(nbytes, 2 * store.nbytes), np.uint8)
+            self._stores[name] = store
+        return store
+
+    def presize(
+        self, n_graphs: int, n_nodes: int, n_edges: int, feature_dim: int, output_dim: int
+    ) -> None:
+        """Grow backings for a batch of the given total shape (no views)."""
+        self._backing("positions", 4 * n_nodes * 3)
+        self._backing("node_features", 4 * n_nodes * feature_dim)
+        self._backing("edge_index", 4 * 2 * n_edges)
+        self._backing("y", 4 * n_graphs * output_dim)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(s.nbytes for s in self._stores.values())
+
+    def reset(
+        self,
+        node_counts: np.ndarray,
+        edge_counts: np.ndarray,
+        feature_dim: int,
+        output_dim: int,
+        sample_ids: np.ndarray,
+    ) -> None:
+        """Shape the arena for one batch; previous views become invalid."""
+        self.node_counts = np.asarray(node_counts, np.int64)
+        self.edge_counts = np.asarray(edge_counts, np.int64)
+        b = int(self.node_counts.size)
+        self.ptr = np.zeros(b + 1, np.int64)
+        np.cumsum(self.node_counts, out=self.ptr[1:])
+        self.edge_ptr = np.zeros(b + 1, np.int64)
+        np.cumsum(self.edge_counts, out=self.edge_ptr[1:])
+        n = int(self.ptr[-1])
+        e = int(self.edge_ptr[-1])
+        self.sample_ids = np.asarray(sample_ids, np.int64)
+        pos_store = self._backing("positions", 4 * n * 3)
+        feat_store = self._backing("node_features", 4 * n * feature_dim)
+        edge_store = self._backing("edge_index", 4 * 2 * e)
+        y_store = self._backing("y", 4 * b * output_dim)
+        self.positions = pos_store[: 4 * n * 3].view(np.float32).reshape(n, 3)
+        self.node_features = (
+            feat_store[: 4 * n * feature_dim].view(np.float32).reshape(n, feature_dim)
+        )
+        self.edge_index = edge_store[: 4 * 2 * e].view(np.int32).reshape(2, e)
+        self.y = y_store[: 4 * b * output_dim].view(np.float32).reshape(b, output_dim)
+        self.field_bytes = {
+            "positions": pos_store[: 4 * n * 3],
+            "node_features": feat_store[: 4 * n * feature_dim],
+            "edge_index": edge_store[: 4 * 2 * e],
+            "y": y_store[: 4 * b * output_dim],
+        }
+        self.node_graph = np.repeat(np.arange(b, dtype=np.int64), self.node_counts)
+        self._shifted = False
+
+    def shift_edges(self) -> None:
+        """Vectorised edge-index shift to batch-global node ids (idempotent).
+
+        Matches the row collate's per-graph ``edge_index + ptr[i]`` shift
+        exactly, so arena batches are byte-identical to row batches.
+        """
+        if self._shifted:
+            return
+        if self.edge_index.size:
+            offs = np.repeat(self.ptr[:-1], self.edge_counts).astype(np.int32)
+            np.add(self.edge_index, offs, out=self.edge_index)
+        self._shifted = True
+
+    def as_batch(self) -> GraphBatch:
+        """Wrap the arena views into a GraphBatch (no copies)."""
+        return GraphBatch(
+            positions=self.positions,
+            node_features=self.node_features,
+            edge_index=self.edge_index,
+            y=self.y,
+            node_graph=self.node_graph,
+            ptr=self.ptr,
+            sample_ids=self.sample_ids,
+        )
+
+
+class ArenaPool:
+    """Free-list of recycled arenas, one in flight per prefetch slot."""
+
+    def __init__(self) -> None:
+        self._free: list[BatchArena] = []
+        self.created = 0
+
+    def acquire(self) -> BatchArena:
+        if self._free:
+            return self._free.pop()
+        self.created += 1
+        return BatchArena()
+
+    def release(self, arena: BatchArena) -> None:
+        self._free.append(arena)
+
+    def warm(
+        self,
+        n_arenas: int,
+        n_graphs: int,
+        n_nodes: int,
+        n_edges: int,
+        feature_dim: int,
+        output_dim: int,
+    ) -> None:
+        """Pre-size ``n_arenas`` arenas so steady state never reallocates."""
+        grown = [self.acquire() for _ in range(n_arenas)]
+        for arena in grown:
+            arena.presize(n_graphs, n_nodes, n_edges, feature_dim, output_dim)
+            self.release(arena)
+
+
+def collate(
+    graphs: Sequence[AtomicGraph] = (), *, arena: BatchArena | None = None
+) -> GraphBatch:
+    """Concatenate graphs into one batch, shifting edge indices.
+
+    With ``arena=`` the fast path runs instead: the batch was already
+    scattered field-wise into the arena, so only the vectorised edge shift
+    and a view-wrapping remain.
+    """
+    if arena is not None:
+        arena.shift_edges()
+        return arena.as_batch()
     if not graphs:
         raise ValueError("cannot collate an empty batch")
     out_dim = graphs[0].output_dim

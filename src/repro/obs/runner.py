@@ -71,6 +71,21 @@ def _resilience_cfg(profile):
     )
 
 
+def _columnar_cfg(profile):
+    """The zero-copy columnar byte path (arena scatter instead of decode)."""
+    from ..bench.harness import ExperimentConfig
+
+    return ExperimentConfig(
+        machine="perlmutter",
+        n_nodes=profile.scaling_nodes[0],
+        dataset="ising",
+        method="ddstore",
+        batch_size=profile.batch_size,
+        steps_per_epoch=profile.steps_per_epoch,
+        columnar=True,
+    )
+
+
 def _p2p_cfg(profile):
     """The rejected two-sided design, for comparing trace shapes."""
     from ..bench.harness import ExperimentConfig
@@ -89,6 +104,7 @@ TRACEABLE: dict[str, tuple[Callable, str]] = {
     "fig5": (_fig5_cfg, "DDStore breakdown cell (Fig 5 shape)"),
     "fig9": (_fig9_cfg, "function-duration cell (Fig 9 shape)"),
     "resilience": (_resilience_cfg, "straggler fault with retry/failover armed"),
+    "columnar": (_columnar_cfg, "zero-copy columnar arena-scatter byte path"),
     "p2p": (_p2p_cfg, "two-sided ablation data plane"),
 }
 

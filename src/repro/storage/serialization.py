@@ -86,8 +86,15 @@ def peek_header(buf) -> tuple[int, int, int, int, int]:
     return sid, n_nodes, n_edges, f_dim, y_dim
 
 
-def unpack_graph(buf) -> AtomicGraph:
-    """Deserialise a packed graph; validates sizes and magic."""
+def unpack_graph(buf, copy: bool = True) -> AtomicGraph:
+    """Deserialise a packed graph; validates sizes and magic.
+
+    ``copy=False`` returns *read-only views* into ``buf`` instead of fresh
+    arrays: no per-field allocation, but the graph is only valid while the
+    underlying buffer is, and its arrays cannot be written.  Callers that
+    own the buffer for the graph's lifetime (the arena fast path, one-shot
+    inspection) use this to skip four allocations per sample.
+    """
     mv = _as_memoryview(buf)
     sid, n_nodes, n_edges, f_dim, y_dim = peek_header(mv)
     expected = packed_size(n_nodes, n_edges, f_dim, y_dim)
@@ -106,16 +113,30 @@ def unpack_graph(buf) -> AtomicGraph:
     features = take(n_nodes * f_dim, np.float32).reshape(n_nodes, f_dim)
     edge_index = take(2 * n_edges, np.int32).reshape(2, n_edges)
     y = take(y_dim, np.float32)
+    if copy:
+        positions = positions.copy()
+        features = features.copy()
+        edge_index = edge_index.copy()
+        y = y.copy()
+    else:
+        for arr in (positions, features, edge_index, y):
+            arr.flags.writeable = False
     return AtomicGraph(
-        positions=positions.copy(),
-        node_features=features.copy(),
-        edge_index=edge_index.copy(),
-        y=y.copy(),
+        positions=positions,
+        node_features=features,
+        edge_index=edge_index,
+        y=y,
         sample_id=sid,
     )
 
 
 def _as_memoryview(buf) -> memoryview:
     if isinstance(buf, np.ndarray):
-        return memoryview(np.ascontiguousarray(buf).view(np.uint8)).cast("B")
+        if not buf.flags.c_contiguous:
+            raise CodecError(
+                "non-contiguous ndarray buffer: making it contiguous would "
+                "allocate a hidden copy behind the caller's back, defeating "
+                "the codec's zero-copy contract — pass a C-contiguous array"
+            )
+        return memoryview(buf.view(np.uint8)).cast("B")
     return memoryview(buf).cast("B")

@@ -194,3 +194,54 @@ def test_experiment_deterministic():
     a, b = run_experiment(cfg), run_experiment(cfg)
     assert a.elapsed == b.elapsed
     assert np.array_equal(a.latencies, b.latencies)
+
+
+def test_columnar_cell_decode_budget():
+    """The columnar byte path retires the decode stage entirely.
+
+    A columnar run must charge zero "decode" seconds, a positive (but
+    small) "scatter" charge, and make zero per-sample ndarray
+    allocations; the scatter charge must come in well under what the
+    decode model would have priced the same samples at.
+    """
+    from repro.graphs import SAMPLE_ALLOCATIONS
+    from repro.hardware import get_machine
+    from repro.storage import decode_time
+
+    cfg = ExperimentConfig(
+        machine="perlmutter",
+        n_nodes=1,
+        dataset="ising",
+        method="ddstore",
+        batch_size=4,
+        steps_per_epoch=2,
+        columnar=True,
+    )
+    SAMPLE_ALLOCATIONS.reset()
+    r = run_experiment(cfg)
+    assert SAMPLE_ALLOCATIONS.count == 0
+    assert r.fetch_stages.get("decode", 0.0) == 0.0
+    scatter = r.fetch_stages.get("scatter", 0.0)
+    assert scatter > 0.0
+    # Budget: the row path would have paid at least per-sample decode base
+    # cost for every sample this rank loaded; scatter must be far cheaper.
+    machine = get_machine(cfg.machine)
+    n_per_rank = cfg.batch_size * cfg.steps_per_epoch
+    row_decode_floor = n_per_rank * decode_time(machine, 0)
+    assert scatter < row_decode_floor / 2
+    # The row twin of the same cell does decode and does allocate.
+    SAMPLE_ALLOCATIONS.reset()
+    row = run_experiment(
+        ExperimentConfig(
+            machine="perlmutter",
+            n_nodes=1,
+            dataset="ising",
+            method="ddstore",
+            batch_size=4,
+            steps_per_epoch=2,
+        )
+    )
+    assert SAMPLE_ALLOCATIONS.count > 0
+    assert row.fetch_stages.get("decode", 0.0) > 0.0
+    assert row.fetch_stages.get("scatter", 0.0) == 0.0
+    SAMPLE_ALLOCATIONS.reset()

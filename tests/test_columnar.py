@@ -1,0 +1,418 @@
+"""Tests for the zero-copy columnar byte path.
+
+Covers the AGRC shard codec and its chunk-codec registry, the batch
+arena / pool, the arena scatter planner, the cache's column mode, and —
+the tentpole invariant — byte-identical GraphBatch tensors between the
+row-decode pipeline and the columnar arena-scatter pipeline over every
+registry workload generator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DataLoader, DataPlaneOptions, DDStore, DDStoreDataset, GeneratorSource
+from repro.dataplane import ArenaScatterMap, FetchPlanner
+from repro.dataplane.cache import SampleCache
+from repro.graphs import SAMPLE_ALLOCATIONS, ArenaPool, BatchArena, collate
+from repro.graphs.datasets import DATASETS
+from repro.hardware import TESTBOX
+from repro.mpi import run_world
+from repro.storage import (
+    ChunkCodec,
+    CodecError,
+    available_chunk_codecs,
+    pack_graph,
+    pack_shard,
+    peek_shard_header,
+    register_chunk_codec,
+    row_field_layout,
+    shard_packed_size,
+    unpack_graph,
+    unpack_shard,
+)
+
+
+def make_graphs(name="ising", n=6, seed=0):
+    gen = DATASETS[name].make(n, seed)
+    return [gen.make(i) for i in range(n)]
+
+
+# ---------------------------------------------------------------------------
+# AGRC shard codec
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("name", sorted(DATASETS))
+def test_shard_roundtrip_every_generator(name):
+    graphs = make_graphs(name, n=4)
+    blob = pack_shard(graphs)
+    n, f_dim, y_dim = peek_shard_header(blob)
+    assert (n, f_dim, y_dim) == (4, graphs[0].feature_dim, graphs[0].output_dim)
+    assert len(blob) == shard_packed_size(
+        4,
+        sum(g.n_nodes for g in graphs),
+        sum(g.n_edges for g in graphs),
+        f_dim,
+        y_dim,
+    )
+    shard = unpack_shard(blob)
+    assert shard.n_samples == 4
+    for i, g in enumerate(graphs):
+        assert shard.graph(i).allclose(g)
+
+
+@pytest.mark.parametrize("codec", ["raw", "byteshuffle", "rle"])
+def test_shard_roundtrip_chunk_codecs(codec):
+    graphs = make_graphs(n=3)
+    blob = pack_shard(graphs, codecs=codec)
+    shard = unpack_shard(blob)
+    assert shard.codecs == {f: codec for f in shard.codecs}
+    for i, g in enumerate(graphs):
+        assert shard.graph(i).allclose(g)
+
+
+def test_shard_per_field_codec_map():
+    graphs = make_graphs(n=3)
+    blob = pack_shard(graphs, codecs={"edge_index": "rle", "positions": "byteshuffle"})
+    shard = unpack_shard(blob)
+    assert shard.codecs["edge_index"] == "rle"
+    assert shard.codecs["positions"] == "byteshuffle"
+    assert shard.codecs["y"] == "raw"
+    for i, g in enumerate(graphs):
+        assert shard.graph(i).allclose(g)
+
+
+def test_shard_unknown_codec_and_field_raise():
+    graphs = make_graphs(n=2)
+    with pytest.raises(CodecError):
+        pack_shard(graphs, codecs="no-such-codec")
+    with pytest.raises(CodecError):
+        pack_shard(graphs, codecs={"not_a_field": "raw"})
+
+
+def test_shard_header_validation():
+    blob = bytearray(pack_shard(make_graphs(n=2)))
+    with pytest.raises(CodecError):
+        peek_shard_header(blob[:4])
+    blob[:4] = b"NOPE"
+    with pytest.raises(CodecError):
+        unpack_shard(bytes(blob))
+
+
+def test_codec_registry_extension_point():
+    """A new codec registers under a name and old names keep decoding."""
+    xor = ChunkCodec(
+        "xor42",
+        lambda data, itemsize: bytes(b ^ 42 for b in data),
+        lambda data, itemsize: bytes(b ^ 42 for b in data),
+    )
+    register_chunk_codec(xor)
+    try:
+        assert "xor42" in available_chunk_codecs()
+        graphs = make_graphs(n=2)
+        shard = unpack_shard(pack_shard(graphs, codecs="xor42"))
+        for i, g in enumerate(graphs):
+            assert shard.graph(i).allclose(g)
+        # Pre-existing raw shards still decode with the enlarged registry.
+        assert unpack_shard(pack_shard(graphs)).graph(0).allclose(graphs[0])
+    finally:
+        from repro.storage.columnar import _CHUNK_CODECS
+
+        _CHUNK_CODECS.pop("xor42", None)
+
+
+def test_row_field_layout_tiles_record():
+    g = make_graphs(n=1)[0]
+    blob = pack_graph(g)
+    spans = row_field_layout(g.n_nodes, g.n_edges, g.feature_dim, g.output_dim)
+    # Field spans tile the record body exactly, in order, ending at EOF.
+    lo = spans["positions"][0]
+    for name in ("positions", "node_features", "edge_index", "y"):
+        assert spans[name][0] == lo
+        lo = spans[name][1]
+    assert lo == len(blob)
+    # Slicing the payload by span reproduces the decoded fields.
+    raw = np.frombuffer(blob, np.uint8)
+    s = spans["positions"]
+    assert np.array_equal(
+        raw[s[0] : s[1]].view(np.float32).reshape(-1, 3), g.positions
+    )
+
+
+# ---------------------------------------------------------------------------
+# satellite 1/2: unpack_graph(copy=False) views + non-contiguous rejection
+# ---------------------------------------------------------------------------
+
+def test_unpack_graph_no_copy_views_are_readonly():
+    g = make_graphs(n=1)[0]
+    blob = pack_graph(g)
+    view = unpack_graph(blob, copy=False)
+    assert view.allclose(g)
+    for arr in (view.positions, view.node_features, view.edge_index, view.y):
+        assert not arr.flags.writeable
+        with pytest.raises((ValueError, RuntimeError)):
+            arr[..., 0] = 0
+    # Default stays a mutable deep copy.
+    full = unpack_graph(blob)
+    full.positions[0, 0] = 123.0
+    assert unpack_graph(blob).positions[0, 0] != 123.0
+
+
+def test_unpack_graph_rejects_noncontiguous_ndarray():
+    blob = pack_graph(make_graphs(n=1)[0])
+    arr = np.frombuffer(blob + blob, np.uint8)
+    strided = arr[::2]
+    assert not strided.flags.c_contiguous
+    with pytest.raises(CodecError, match="contiguous"):
+        unpack_graph(strided)
+    # Contiguous ndarray input still decodes.
+    assert unpack_graph(arr[: len(blob)]).allclose(unpack_graph(blob))
+
+
+# ---------------------------------------------------------------------------
+# batch arena + pool
+# ---------------------------------------------------------------------------
+
+def _fill_arena_from_rows(arena, graphs):
+    """Scatter packed rows into an arena via the planner's segment map."""
+    nn = np.array([g.n_nodes for g in graphs], np.int64)
+    ne = np.array([g.n_edges for g in graphs], np.int64)
+    arena.reset(nn, ne, graphs[0].feature_dim, graphs[0].output_dim,
+                np.array([g.sample_id for g in graphs], np.int64))
+    smap = FetchPlanner().plan_arena(nn, ne, graphs[0].feature_dim, graphs[0].output_dim)
+    fields = tuple(arena.field_bytes[name] for name in BatchArena._FIELDS)
+    for p, g in enumerate(graphs):
+        blob = pack_graph(g)
+        smap.scatter(p, 0, len(blob), np.frombuffer(blob, np.uint8), fields)
+    return smap
+
+
+@pytest.mark.parametrize("name", sorted(DATASETS))
+def test_arena_scatter_matches_row_collate(name):
+    graphs = make_graphs(name, n=5)
+    arena = BatchArena()
+    _fill_arena_from_rows(arena, graphs)
+    got = collate(arena=arena)
+    want = collate(graphs)
+    for f in ("positions", "node_features", "edge_index", "y", "ptr",
+              "node_graph", "sample_ids"):
+        assert getattr(got, f).tobytes() == getattr(want, f).tobytes(), f
+        assert getattr(got, f).dtype == getattr(want, f).dtype, f
+
+
+def test_arena_shift_edges_idempotent():
+    graphs = make_graphs(n=3)
+    arena = BatchArena()
+    _fill_arena_from_rows(arena, graphs)
+    arena.shift_edges()
+    once = arena.edge_index.copy()
+    arena.shift_edges()  # second call must not double-shift
+    assert np.array_equal(arena.edge_index, once)
+    # collate() itself calls shift_edges; composing them is still safe.
+    assert np.array_equal(collate(arena=arena).edge_index, once)
+
+
+def test_arena_recycles_without_reallocating():
+    big = make_graphs(n=6)
+    small = big[:2]
+    arena = BatchArena()
+    _fill_arena_from_rows(arena, big)
+    stores = {k: v for k, v in arena._stores.items()}
+    _fill_arena_from_rows(arena, small)  # smaller batch: same backings
+    for k, v in arena._stores.items():
+        assert v is stores[k], k
+    assert collate(arena=arena).n_graphs == 2
+
+
+def test_arena_pool_reuse_and_warm():
+    pool = ArenaPool()
+    a = pool.acquire()
+    pool.release(a)
+    assert pool.acquire() is a
+    assert pool.created == 1
+    pool.release(a)
+    pool.warm(3, n_graphs=4, n_nodes=100, n_edges=300, feature_dim=3, output_dim=2)
+    assert pool.created == 3
+    warmed = pool.acquire()
+    assert warmed.nbytes >= 4 * (100 * 3 + 100 * 3 + 2 * 300) + 4 * 4 * 2
+
+
+def test_plan_arena_segment_bookkeeping():
+    graphs = make_graphs(n=4)
+    nn = np.array([g.n_nodes for g in graphs], np.int64)
+    ne = np.array([g.n_edges for g in graphs], np.int64)
+    smap = FetchPlanner().plan_arena(nn, ne, graphs[0].feature_dim, graphs[0].output_dim)
+    assert isinstance(smap, ArenaScatterMap)
+    # Up to 5 segments per sample (pos, feat, edge src/tgt plane, y);
+    # zero-length fields are skipped.
+    assert 0 < smap.n_segments <= 5 * len(graphs)
+    # Partial scatter: delivering a sample in two byte-range halves lands
+    # the same bytes as one whole-record delivery.
+    arena, arena2 = BatchArena(), BatchArena()
+    _fill_arena_from_rows(arena, graphs)
+    sids = np.array([g.sample_id for g in graphs], np.int64)
+    arena2.reset(nn, ne, graphs[0].feature_dim, graphs[0].output_dim, sids)
+    smap2 = FetchPlanner().plan_arena(nn, ne, graphs[0].feature_dim, graphs[0].output_dim)
+    fields2 = tuple(arena2.field_bytes[name] for name in BatchArena._FIELDS)
+    for p, g in enumerate(graphs):
+        blob = np.frombuffer(pack_graph(g), np.uint8)
+        cut = len(blob) // 3
+        smap2.scatter(p, 0, cut, blob[:cut], fields2)
+        smap2.scatter(p, cut, len(blob), blob[cut:], fields2)
+    for name in BatchArena._FIELDS:
+        assert arena2.field_bytes[name].tobytes() == arena.field_bytes[name].tobytes()
+
+
+# ---------------------------------------------------------------------------
+# cache column mode
+# ---------------------------------------------------------------------------
+
+def test_cache_column_mode_segregates_entries():
+    cache = SampleCache(capacity_bytes=1 << 16)
+    payload = np.arange(64, dtype=np.uint8)
+    assert cache.put_columns(7, payload)
+    # Column entries only serve get_columns, never the row-path get.
+    assert cache.get(7) is None
+    assert np.array_equal(cache.get_columns(7), payload)
+    # Whole-blob entries never serve get_columns.
+    assert cache.put(9, payload)
+    assert cache.get_columns(9) is None
+    assert np.array_equal(cache.get(9), payload)
+    # Refreshing a column key with a whole blob clears the marker.
+    assert cache.put(7, payload)
+    assert cache.get_columns(7) is None
+    assert cache.get(7) is not None
+
+
+# ---------------------------------------------------------------------------
+# end-to-end equivalence: row pipeline vs columnar pipeline
+# ---------------------------------------------------------------------------
+
+_BATCH_FIELDS = ("positions", "node_features", "edge_index", "y", "ptr",
+                 "node_graph", "sample_ids")
+
+
+def _epoch_batches(ctx, columnar, name, seed=0, **dp_kw):
+    gen = DATASETS[name].make(24, seed)
+    src = GeneratorSource(gen, ctx.world.machine)
+    store = yield from DDStore.create(
+        ctx.comm, src, dataplane=DataPlaneOptions(columnar=columnar, **dp_kw)
+    )
+    loader = DataLoader(
+        DDStoreDataset(store), ctx, batch_size=4, shuffle="global", seed=seed
+    )
+    out = []
+    for idx in loader.epoch_batches(0):
+        loaded = yield from loader.load(idx)
+        b = loaded.batch
+        out.append(tuple(getattr(b, f).tobytes() for f in _BATCH_FIELDS))
+        loaded.release()
+    return out
+
+
+@pytest.mark.parametrize("name", sorted(DATASETS))
+def test_columnar_batches_byte_identical_to_row(name):
+    def main(ctx, columnar):
+        result = yield from _epoch_batches(ctx, columnar, name)
+        return result
+
+    row = run_world(TESTBOX, 2, lambda c: main(c, False), seed=1).results
+    col = run_world(TESTBOX, 2, lambda c: main(c, True), seed=1).results
+    assert row == col  # every rank, every batch, every tensor, every byte
+
+
+def test_columnar_equivalence_through_cache_and_waves():
+    """Arena batches stay byte-identical when fed from wave-parked columns."""
+    def main(ctx, columnar):
+        result = yield from _epoch_batches(
+            ctx,
+            columnar,
+            "ising",
+            cache_bytes=1 << 22,
+            scheduler=True,
+            prefetch_depth=2,
+        )
+        return result
+
+    row = run_world(TESTBOX, 2, lambda c: main(c, False), seed=3).results
+    col = run_world(TESTBOX, 2, lambda c: main(c, True), seed=3).results
+    assert row == col
+
+
+def test_columnar_scatter_path_never_allocates_per_sample():
+    def main(ctx):
+        result = yield from _epoch_batches(ctx, True, "ising")
+        return len(result)
+
+    SAMPLE_ALLOCATIONS.reset()
+    n = run_world(TESTBOX, 2, main, seed=1).results[0]
+    assert n > 0
+    assert SAMPLE_ALLOCATIONS.count == 0
+
+
+def test_row_path_allocation_counter_is_live():
+    def main(ctx):
+        result = yield from _epoch_batches(ctx, False, "ising")
+        return len(result)
+
+    SAMPLE_ALLOCATIONS.reset()
+    run_world(TESTBOX, 2, main, seed=1)
+    assert SAMPLE_ALLOCATIONS.count > 0
+    SAMPLE_ALLOCATIONS.reset()
+
+
+def test_columnar_off_is_default_and_row_default_unchanged():
+    """The row pipeline must not consult any columnar machinery by default."""
+    def main(ctx):
+        src = GeneratorSource(DATASETS["ising"].make(16, 0), ctx.world.machine)
+        store = yield from DDStore.create(ctx.comm, src)
+        ds = DDStoreDataset(store)
+        return ds.columnar, ds.arena_pool, store.registry.shapes
+
+    columnar, pool, shapes = run_world(TESTBOX, 2, main, seed=0).results[0]
+    assert columnar is False
+    assert pool is None
+    assert shapes is None
+
+
+def test_columnar_store_replicates_shape_table():
+    def main(ctx):
+        gen = DATASETS["ising"].make(16, 0)
+        src = GeneratorSource(gen, ctx.world.machine)
+        store = yield from DDStore.create(
+            ctx.comm, src, dataplane=DataPlaneOptions(columnar=True)
+        )
+        shapes = store.registry.shapes
+        idx = np.array([1, 9, 4, 14], np.int64)
+        sids, nn, ne = store.registry.shape_batch(idx)
+        truth = [gen.make(int(i)) for i in idx]
+        return (
+            shapes is not None,
+            sids.tolist(),
+            nn.tolist(),
+            ne.tolist(),
+            [g.n_nodes for g in truth],
+            [g.n_edges for g in truth],
+        )
+
+    ok, sids, nn, ne, want_nn, want_ne = run_world(TESTBOX, 2, main, seed=0).results[0]
+    assert ok
+    assert sids == [1, 9, 4, 14]
+    assert nn == want_nn
+    assert ne == want_ne
+
+
+# ---------------------------------------------------------------------------
+# satellite 6: traced columnar run still tiles epoch time
+# ---------------------------------------------------------------------------
+
+def test_traced_columnar_run_satisfies_critical_path_invariant():
+    from repro.bench.experiments import _PROFILES
+    from repro.obs import run_traced
+
+    run = run_traced("columnar", _PROFILES["tiny"])
+    assert run.report.ok, run.report.violations()
+    # The new scatter stage is present in the canonical roll-up and the
+    # decode stage is gone — the stages still tile the fetch.
+    stages = run.result.fetch_stages
+    assert stages.get("scatter", 0.0) > 0.0
+    assert stages.get("decode", 0.0) == 0.0
