@@ -1,0 +1,60 @@
+"""Ablation — tiered cache hierarchy: GPU-pinned -> DRAM -> NVMe -> PFS.
+
+Five cells of identical training work on a fetch-bound Summit cell:
+demand PFS reads (CFF, cold page cache), a flat per-rank DRAM cache with
+Belady eviction, DRAM + a node-shared NVMe tier (packed shards staged at
+create time, Belady-fed promotion/demotion), the full hierarchy with a
+GPU-pinned tier on top, and a full-stage probe whose NVMe tier holds the
+whole dataset.  Asserts the acceptance bar: the full hierarchy beats the
+flat same-DRAM-budget baseline by >= 1.3x and demand PFS reads by >= 2x,
+the probe's NVMe->arena promotion path performs zero per-sample ndarray
+allocations and feeds waves entirely from flash (zero prefetch wire
+bytes), the headline tiered cells offload the fabric (strictly fewer
+wire bytes than flat), and reruns are bit-deterministic.
+"""
+
+from conftest import run_once
+
+from repro.bench import write_report
+from repro.bench.ablations import ablation_tiered
+
+
+def test_ablation_tiered(benchmark, profile):
+    text, data = run_once(benchmark, ablation_tiered, profile)
+    write_report("ablation_tiered", text, data)
+
+    cells = data["cells"]
+    pfs = cells["pfs demand (cff, cold)"]
+    flat = cells["dram only (belady eviction)"]
+    dram_nvme = cells["dram+nvme tiered"]
+    full = cells["gpu+dram+nvme tiered"]
+    probe = cells["nvme full-stage (zero-wire probe)"]
+
+    # The hierarchy acceptance bar: >= 1.3x over flat DRAM (same DRAM
+    # budget) and >= 2x over demand PFS reads.
+    assert data["checks"]["tiered_1_3x"]
+    assert data["checks"]["pfs_2x"]
+    assert data["speedup_vs_flat"] >= 1.3
+    assert data["speedup_vs_pfs"] >= 2.0
+    # Each added tier helps on this cell.
+    assert full["elapsed"] < dram_nvme["elapsed"] < pfs["elapsed"]
+    assert full["elapsed"] < flat["elapsed"]
+
+    # The staged tier offloads the fabric: headline tiered cells move
+    # strictly fewer wire bytes than the flat baseline, and the
+    # full-stage probe feeds waves entirely from flash.
+    assert data["checks"]["nvme_feeds_prefetch"]
+    flat_wire = flat["counters"]["bytes_prefetched"]
+    for cell in (dram_nvme, full):
+        assert 0 < cell["counters"]["bytes_prefetched"] < flat_wire
+    assert probe["counters"]["n_prefetched"] > 0
+    assert probe["counters"]["bytes_prefetched"] == 0
+
+    # Zero-copy promotion: NVMe-resident shards scatter straight into
+    # batch arenas, never materialising per-sample arrays — proven on
+    # the probe, where flash is the only wave byte source.
+    assert data["checks"]["zero_promote_allocs"]
+    assert data["promote_allocations"] == 0
+
+    # Bit-determinism of the tiered cells across fresh runs.
+    assert data["checks"]["deterministic"]

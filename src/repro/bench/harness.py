@@ -106,6 +106,9 @@ class ExperimentConfig:
     scheduler: bool = False  # wave scheduling (needs cache_bytes > 0)
     cache_policy: str = "lru"  # "lru" or "belady"
     columnar: bool = False  # zero-copy columnar batch assembly (arenas)
+    # tiered cache hierarchy, e.g. "gpu:2m+dram:4m+nvme:256m"; None keeps
+    # the flat single-DRAM-tier cache_bytes knob (mutually exclusive).
+    tiers: Optional[str] = None
     # fault injection + resilience (see repro.faults / ResilienceOptions)
     fault_plan: Optional[str] = None  # named plan, e.g. "straggler-10x"
     timeout_s: Optional[float] = None  # per-read fetch timeout (None = off)
@@ -134,6 +137,13 @@ class ExperimentConfig:
 
     def ddstore_config(self) -> DDStoreConfig:
         """The nested-options DDStore configuration this cell runs with."""
+        from ..core import CacheOptions
+
+        cache = (
+            CacheOptions.parse(self.tiers, policy=self.cache_policy)
+            if self.tiers is not None
+            else None
+        )
         return DDStoreConfig(
             self.n_ranks,
             width=self.width,
@@ -146,6 +156,7 @@ class ExperimentConfig:
                 scheduler=self.scheduler,
                 cache_policy=self.cache_policy,
                 columnar=self.columnar,
+                cache=cache,
             ),
             resilience=ResilienceOptions(
                 timeout_s=self.timeout_s,

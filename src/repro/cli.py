@@ -47,6 +47,7 @@ from .bench.ablations import (
     ablation_prefetch,
     ablation_resilience,
     ablation_shuffle,
+    ablation_tiered,
     ablation_workers,
 )
 
@@ -68,6 +69,7 @@ EXPERIMENTS: dict[str, tuple[Callable, str]] = {
     "ablation-coalescing": (ablation_coalescing, "fetch coalescing + hot-sample cache"),
     "ablation-prefetch": (ablation_prefetch, "epoch-ahead scheduler: depth-k x waves x eviction"),
     "ablation-columnar": (ablation_columnar, "row decode vs zero-copy columnar arena scatter"),
+    "ablation-tiered": (ablation_tiered, "tiered cache hierarchy gpu/dram/nvme/pfs"),
     "ablation-shuffle": (ablation_shuffle, "global vs local shuffle"),
     "ablation-nvme": (ablation_nvme, "NVMe staging vs DDStore"),
     "ablation-workers": (ablation_workers, "loader-worker sensitivity"),
@@ -224,7 +226,7 @@ def main(argv: list[str] | None = None) -> int:
         "trace", help="run one experiment traced; export Chrome trace JSON"
     )
     tr.add_argument(
-        "name", help="traceable experiment (fig5, fig9, resilience, columnar, p2p)"
+        "name", help="traceable experiment (fig5, fig9, resilience, columnar, tiered, p2p)"
     )
     tr.add_argument("--scale", choices=["tiny", "small", "paper"], default=None)
     tr.add_argument("--out", default=None, help="output path for the trace JSON")

@@ -1,7 +1,14 @@
 """DDStore core: the paper's distributed in-memory data store."""
 
 from .chunking import ChunkLayout, balanced_partition
-from .config import DataPlaneOptions, DDStoreConfig, FRAMEWORKS, ResilienceOptions
+from .config import (
+    CacheOptions,
+    DataPlaneOptions,
+    DDStoreConfig,
+    FRAMEWORKS,
+    ResilienceOptions,
+    TierSpec,
+)
 from .loader import (
     BatchStats,
     DataLoader,
@@ -19,6 +26,8 @@ from .store import DDStore, FETCH_STAGES, FetchStats, StoreClosedError
 __all__ = [
     "DDStoreConfig",
     "DataPlaneOptions",
+    "CacheOptions",
+    "TierSpec",
     "ResilienceOptions",
     "StoreClosedError",
     "FRAMEWORKS",

@@ -34,7 +34,15 @@ import warnings
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
-__all__ = ["DataPlaneOptions", "ResilienceOptions", "DDStoreConfig", "FRAMEWORKS"]
+__all__ = [
+    "TierSpec",
+    "CacheOptions",
+    "DataPlaneOptions",
+    "ResilienceOptions",
+    "DDStoreConfig",
+    "FRAMEWORKS",
+    "TIER_KINDS",
+]
 
 #: The built-in frameworks.  Validation consults the live transport
 #: registry, so this tuple is informational (and kept for back-compat).
@@ -43,6 +51,136 @@ FRAMEWORKS = ("mpi-rma", "p2p")
 #: Flat DDStoreConfig keywords accepted for back-compat -> their new home.
 _FLAT_DATAPLANE = ("framework", "coalesce", "max_read_bytes", "cache_bytes")
 _FLAT_RESILIENCE = ("timeout_s", "max_retries", "backoff_s", "backoff_factor", "failover")
+
+#: Recognised cache tiers, fastest first.  ``gpu`` and ``dram`` are
+#: per-rank byte pools; ``nvme`` is the node-shared burst buffer.  The
+#: parallel file system is not a tier — it is what a full hierarchy miss
+#: falls back to.
+TIER_KINDS = ("gpu", "dram", "nvme")
+
+_SIZE_SUFFIXES = {
+    "k": 1 << 10,
+    "m": 1 << 20,
+    "g": 1 << 30,
+    "t": 1 << 40,
+}
+
+
+def _parse_size(text: str) -> int:
+    """``"4m"`` -> 4 MiB; bare integers are bytes."""
+    text = text.strip().lower()
+    if not text:
+        raise ValueError("empty size")
+    mult = 1
+    if text[-1] in _SIZE_SUFFIXES:
+        mult = _SIZE_SUFFIXES[text[-1]]
+        text = text[:-1]
+    try:
+        value = int(text)
+    except ValueError:
+        raise ValueError(f"unparseable size {text!r}") from None
+    return value * mult
+
+
+@dataclass(frozen=True)
+class TierSpec:
+    """One level of the cache hierarchy.
+
+    ``capacity_bytes`` is per *rank* for ``gpu`` and ``dram`` tiers and
+    per *node* for the ``nvme`` tier (the burst buffer is a node-shared
+    device; all local ranks stage into the same pool).
+    """
+
+    kind: str
+    capacity_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in TIER_KINDS:
+            raise ValueError(
+                f"unknown tier kind {self.kind!r}; options: {TIER_KINDS}"
+            )
+        if self.capacity_bytes <= 0:
+            raise ValueError(
+                f"tier {self.kind!r} capacity must be positive, "
+                f"got {self.capacity_bytes}"
+            )
+
+
+@dataclass(frozen=True)
+class CacheOptions:
+    """A multi-tier sample cache: GPU-pinned → DRAM → NVMe (→ PFS).
+
+    * ``tiers`` — ordered fastest-first.  A DRAM tier is mandatory (it is
+      the landing zone for wire fetches and the source/sink of every
+      promotion and demotion); GPU and NVMe tiers are optional.
+    * ``policy`` — eviction/admission policy applied at *every* boundary:
+      ``"belady"`` reuses the epoch-future feed so each tier evicts its
+      farthest-reuse entry and refuses admissions that would displace a
+      sooner-needed one; ``"lru"`` admits always and evicts least-recent.
+    * ``stage_nvme`` — pre-stage the dataset (capacity permitting) onto
+      the NVMe tier at store-create time, charged to preload; staged
+      entries are pinned, so DRAM demotions of staged samples are clean
+      drops instead of write-backs.
+
+    ``CacheOptions.parse("gpu:2m+dram:4m+nvme:256m")`` builds one from
+    the CLI/bench string form.
+    """
+
+    tiers: tuple = ()
+    policy: str = "lru"
+    stage_nvme: bool = True
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.tiers, tuple):
+            object.__setattr__(self, "tiers", tuple(self.tiers))
+        if not self.tiers:
+            raise ValueError("CacheOptions needs at least one tier")
+        for t in self.tiers:
+            if not isinstance(t, TierSpec):
+                raise TypeError(f"tiers must be TierSpec, got {type(t)!r}")
+        kinds = [t.kind for t in self.tiers]
+        if len(set(kinds)) != len(kinds):
+            raise ValueError(f"duplicate tier kinds: {kinds}")
+        order = [k for k in TIER_KINDS if k in kinds]
+        if kinds != order:
+            raise ValueError(
+                f"tiers must be ordered fastest-first {TIER_KINDS}, got {kinds}"
+            )
+        if "dram" not in kinds:
+            raise ValueError(
+                "CacheOptions requires a dram tier (wire fetches land there)"
+            )
+        if self.policy not in ("lru", "belady"):
+            raise ValueError(
+                f"policy must be 'lru' or 'belady', got {self.policy!r}"
+            )
+
+    @classmethod
+    def parse(cls, text: str, policy: str = "lru", stage_nvme: bool = True) -> "CacheOptions":
+        """Parse ``"gpu:2m+dram:4m+nvme:256m"`` into a :class:`CacheOptions`."""
+        tiers = []
+        for part in text.split("+"):
+            part = part.strip()
+            if not part:
+                continue
+            kind, sep, size = part.partition(":")
+            if not sep:
+                raise ValueError(
+                    f"tier {part!r} must be '<kind>:<size>', e.g. 'dram:4m'"
+                )
+            tiers.append(TierSpec(kind=kind.strip().lower(), capacity_bytes=_parse_size(size)))
+        return cls(tiers=tuple(tiers), policy=policy, stage_nvme=stage_nvme)
+
+    def tier(self, kind: str) -> Optional[TierSpec]:
+        for t in self.tiers:
+            if t.kind == kind:
+                return t
+        return None
+
+    @property
+    def dram_bytes(self) -> int:
+        t = self.tier("dram")
+        return t.capacity_bytes if t is not None else 0
 
 
 @dataclass(frozen=True)
@@ -73,6 +211,10 @@ class DataPlaneOptions:
       fetches scatter wire bytes straight into preallocated batch arenas
       (no per-sample decode or allocation).  Off by default; the row path
       stays bit-identical.
+    * ``cache`` — a :class:`CacheOptions` tier hierarchy
+      (GPU-pinned → DRAM → NVMe).  Mutually exclusive with the flat
+      ``cache_bytes`` knob, which remains the single-DRAM-tier fast path
+      and is bit-identical to prior releases.
     """
 
     framework: str = "mpi-rma"
@@ -84,6 +226,7 @@ class DataPlaneOptions:
     scheduler: bool = False
     cache_policy: str = "lru"
     columnar: bool = False
+    cache: Optional[CacheOptions] = None
 
     def __post_init__(self) -> None:
         # Lazy import: repro.dataplane registers the built-in transports on
@@ -114,10 +257,21 @@ class DataPlaneOptions:
             raise ValueError(
                 f"cache_policy must be 'lru' or 'belady', got {self.cache_policy!r}"
             )
-        if self.scheduler and self.cache_bytes <= 0:
+        if self.cache is not None:
+            if not isinstance(self.cache, CacheOptions):
+                raise TypeError(
+                    f"cache must be CacheOptions, got {type(self.cache)!r}"
+                )
+            if self.cache_bytes > 0:
+                raise ValueError(
+                    "cache_bytes and cache=CacheOptions(...) are mutually "
+                    "exclusive; put the DRAM budget in the dram tier"
+                )
+        if self.scheduler and self.cache_bytes <= 0 and self.cache is None:
             raise ValueError(
                 "scheduler=True parks wave-prefetched samples in the sample "
-                "cache and therefore requires cache_bytes > 0"
+                "cache and therefore requires cache_bytes > 0 or a tiered "
+                "cache=CacheOptions(...)"
             )
 
 

@@ -43,6 +43,7 @@ from ..dataplane import (
     PlannedRead,
     RetryPolicy,
     SampleCache,
+    TieredCache,
     fetch_with_retry,
     get_transport,
 )
@@ -58,9 +59,10 @@ from .registry import ChunkRegistry, ShapeTable
 __all__ = ["DDStore", "FetchStats", "FETCH_STAGES", "StoreClosedError"]
 
 #: The instrumented stages of one ``get_samples`` call, in pipeline order
-#: ("retry" charges the backoff waits between fetch re-issues; "scatter"
-#: is the columnar path's arena assembly, which replaces "decode").
-FETCH_STAGES = ("plan", "lock", "get", "retry", "copy", "cache", "decode", "scatter")
+#: ("retry" charges the backoff waits between fetch re-issues; "promote"
+#: is the tiered cache's NVMe→DRAM batched-read wall time; "scatter" is
+#: the columnar path's arena assembly, which replaces "decode").
+FETCH_STAGES = ("plan", "lock", "get", "retry", "copy", "cache", "promote", "decode", "scatter")
 
 
 class StoreClosedError(RuntimeError):
@@ -173,13 +175,19 @@ class DDStore:
             coalesce=config.coalesce and transport.supports_coalescing,
             max_read_bytes=config.max_read_bytes,
         )
-        self.cache = SampleCache(
-            config.cache_bytes, policy=config.dataplane.cache_policy
-        )
         machine = comm.communicator.world.machine
         self._machine = machine
         self._local_copy_base = machine.intra_node_latency_s
         self._local_copy_bw = machine.intra_node_bandwidth_Bps
+        if config.dataplane.cache is not None:
+            self.cache = self._build_tiered_cache(config.dataplane.cache)
+        else:
+            self.cache = SampleCache(
+                config.cache_bytes, policy=config.dataplane.cache_policy
+            )
+        self._tiered = bool(getattr(self.cache, "tiered", False))
+        # Snapshot of per-tier counters for delta-based metric publishing.
+        self._tier_base = self.cache.tier_counters() if self._tiered else {}
         # The transport is wired over the whole job (a dup of ``comm``), so
         # plan targets are comm ranks: group rank + this group's base.
         self._my_group = config.group_of_rank(comm.rank)
@@ -190,6 +198,62 @@ class DDStore:
         # resetting ``store.stats`` mid-run cannot resurrect old cache hits.
         self._cache_base = self.cache.stats.as_dict()
         self._closed = False
+
+    def _build_tiered_cache(self, cache_opts) -> TieredCache:
+        """Assemble the GPU→DRAM→NVMe hierarchy for this rank.
+
+        The NVMe tier is node-shared: all local ranks resolve the same
+        :class:`~repro.storage.staging.NVMeShardStore` (and device queue)
+        through a registry on the world object, keyed by node index.
+        """
+        from ..hardware.nvme import NVMeDevice
+        from ..storage.staging import NVMeShardStore
+
+        machine = self._machine
+        comm = self.comm
+        shard_store = None
+        nvme_tier = cache_opts.tier("nvme")
+        if nvme_tier is not None:
+            if machine.nvme is None:
+                raise ValueError(
+                    f"machine {machine.name!r} has no node-local NVMe; drop "
+                    "the nvme tier from CacheOptions"
+                )
+            world = comm.communicator.world
+            node_index = machine.node_of_rank(comm.world_rank)
+            stores = world.__dict__.setdefault("_tier_nvme_stores", {})
+            if node_index not in stores:
+                device = NVMeDevice(
+                    comm.engine, machine.nvme, name=f"nvme{node_index}"
+                )
+                stores[node_index] = NVMeShardStore(
+                    device, nvme_tier.capacity_bytes
+                )
+            shard_store = stores[node_index]
+        engine = comm.engine
+        return TieredCache(
+            cache_opts,
+            nvme=shard_store,
+            gpu_spec=machine.gpu if cache_opts.tier("gpu") is not None else None,
+            dram_hit_base_s=self._local_copy_base,
+            dram_hit_Bps=self._local_copy_bw,
+            now_fn=lambda: engine.now,
+        )
+
+    def _publish_tier_metrics(self, m, track: int) -> None:
+        """Publish per-tier counter deltas to the ``ddstore.tier`` family
+        (labels: tier, counter, rank), snapshot-style like the cache stats."""
+        if not self._tiered:
+            return
+        counters = self.cache.tier_counters()
+        for key, value in counters.items():
+            delta = value - self._tier_base.get(key, 0)
+            if delta:
+                tier, counter = key.split(".", 1)
+                m.counter(
+                    "ddstore.tier", tier=tier, counter=counter, rank=track
+                ).inc(delta)
+        self._tier_base = counters
 
     # ------------------------------------------------------------------
     # construction
@@ -281,8 +345,41 @@ class DDStore:
         )
         store._node_index = node_index
         store._charged_bytes = buffer_nbytes
+        if (
+            store._tiered
+            and store.cache.nvme is not None
+            and config.dataplane.cache.stage_nvme
+        ):
+            yield from store._stage_nvme_tier(source, node_index)
         yield from comm.barrier()
         return store
+
+    def _stage_nvme_tier(self, source: DataSource, node_index: int) -> Generator:
+        """Pre-stage the dataset onto this node's NVMe tier at create time.
+
+        The burst-buffer recipe: one bulk PFS read per node, written to
+        the local SSD and *pinned* (never evicted).  Charged to preload,
+        so training-time demotions of staged samples become clean drops
+        and the steady state pays zero NVMe writes.  The first local rank
+        to get here does the work; capacity permitting a prefix of the
+        dataset is staged, the rest of the tier fills via demotion.
+        Sources without a bulk reader (e.g. synthetic generators) skip
+        staging entirely.
+        """
+        shard = self.cache.nvme
+        if getattr(shard, "_staged_once", False):
+            return
+        shard._staged_once = True
+        reader = getattr(source, "reader", None)
+        bulk = getattr(reader, "read_chunk_raw", None) if reader is not None else None
+        if bulk is None:
+            return
+        engine = self.comm.engine
+        n = int(source.n_samples)
+        blobs, t = bulk(0, n, node_index, engine.now)
+        done = shard.stage(list(range(n)), blobs, t)
+        if done > engine.now:
+            yield engine.timeout(done - engine.now)
 
     @staticmethod
     def _local_shape_row(result) -> np.ndarray:
@@ -447,20 +544,64 @@ class DDStore:
         remote_positions = np.nonzero(~local_mask)[0]
         fetch_positions = remote_positions
         cache_time = 0.0
+        promote_keys: list[int] = []
+        promote_positions: list[int] = []
         if self.cache.enabled and remote_positions.size:
             missed = []
-            for p in remote_positions:
-                entry = self.cache.get(int(idx[p]))
-                if entry is None:
-                    missed.append(p)
-                    continue
-                blobs[p] = entry.copy()
-                SAMPLE_ALLOCATIONS.bump()
-                # A hit still costs the DRAM copy out of the cache.
-                hit_cost = self._local_copy_base + entry.nbytes / self._local_copy_bw
-                latencies[p] = hit_cost
-                cache_time += hit_cost
+            if self._tiered:
+                for p in remote_positions:
+                    key = int(idx[p])
+                    hit = self.cache.fast_get(key, column=False)
+                    if hit is not None:
+                        payload, _, hit_cost = hit
+                        blobs[p] = payload.copy()
+                        SAMPLE_ALLOCATIONS.bump()
+                        latencies[p] = hit_cost
+                        cache_time += hit_cost
+                    elif self.cache.nvme_resident(key, column=False):
+                        promote_keys.append(key)
+                        promote_positions.append(int(p))
+                    else:
+                        self.cache.count_miss(column=False)
+                        missed.append(p)
+            else:
+                for p in remote_positions:
+                    entry = self.cache.get(int(idx[p]))
+                    if entry is None:
+                        missed.append(p)
+                        continue
+                    blobs[p] = entry.copy()
+                    SAMPLE_ALLOCATIONS.bump()
+                    # A hit still costs the DRAM copy out of the cache.
+                    hit_cost = self._local_copy_base + entry.nbytes / self._local_copy_bw
+                    latencies[p] = hit_cost
+                    cache_time += hit_cost
             fetch_positions = np.asarray(missed, dtype=np.int64)
+
+        # -- tiered cache: batched NVMe→DRAM demand promotion ----------------
+        if promote_keys:
+            t_promote = engine.now
+            results, promote_wall = self.cache.promote_batch(
+                promote_keys, engine.now, column=False
+            )
+            if promote_wall:
+                yield engine.timeout(promote_wall)
+            charge("promote", promote_wall)
+            for key, p in zip(promote_keys, promote_positions):
+                payload, _ = results[key]
+                blobs[p] = payload.copy()
+                SAMPLE_ALLOCATIONS.bump()
+                latencies[p] = promote_wall
+            if obs.tracing:
+                obs.tracer.record(
+                    "store.promote",
+                    cat="store.stage",
+                    track=track,
+                    lane=1,
+                    start=t_promote,
+                    end=engine.now,
+                    n=len(promote_keys),
+                )
 
         # Zero-size samples need no bytes on the wire, but they are still
         # remote samples this call served — count them as such.
@@ -632,6 +773,7 @@ class DDStore:
                 m.counter(
                     "ddstore.stage_seconds", stage=stage, rank=track
                 ).inc(seconds)
+            self._publish_tier_metrics(m, track)
         if obs.tracing:
             obs.tracer.record(
                 "store.get_samples",
@@ -716,20 +858,74 @@ class DDStore:
         remote_positions = np.nonzero(~local_mask)[0]
         fetch_positions = remote_positions
         cache_time = 0.0
+        promote_keys: list[int] = []
+        promote_positions: list[int] = []
         if self.cache.enabled and remote_positions.size:
             missed = []
-            for p in remote_positions:
-                entry = self.cache.get_columns(int(idx[p]))
-                if entry is None:
-                    missed.append(p)
-                    continue
-                # Cached column payloads are header-stripped: their bytes
-                # start at sample offset 32 (the AGRF record header).
-                smap.scatter(int(p), 32, 32 + int(entry.nbytes), entry, fields)
-                hit_cost = self._local_copy_base + entry.nbytes / self._local_copy_bw
-                latencies[p] = hit_cost
-                cache_time += hit_cost
+            if self._tiered:
+                for p in remote_positions:
+                    key = int(idx[p])
+                    hit = self.cache.fast_get(key, column=True)
+                    if hit is not None:
+                        entry, has_header, hit_cost = hit
+                        if has_header:
+                            # Whole blob: scatter from byte 0 (the map
+                            # skips the header bytes itself).
+                            smap.scatter(int(p), 0, int(entry.nbytes), entry, fields)
+                        else:
+                            smap.scatter(
+                                int(p), 32, 32 + int(entry.nbytes), entry, fields
+                            )
+                        latencies[p] = hit_cost
+                        cache_time += hit_cost
+                    elif self.cache.nvme_resident(key, column=True):
+                        promote_keys.append(key)
+                        promote_positions.append(int(p))
+                    else:
+                        self.cache.count_miss(column=True)
+                        missed.append(p)
+            else:
+                for p in remote_positions:
+                    entry = self.cache.get_columns(int(idx[p]))
+                    if entry is None:
+                        missed.append(p)
+                        continue
+                    # Cached column payloads are header-stripped: their bytes
+                    # start at sample offset 32 (the AGRF record header).
+                    smap.scatter(int(p), 32, 32 + int(entry.nbytes), entry, fields)
+                    hit_cost = self._local_copy_base + entry.nbytes / self._local_copy_bw
+                    latencies[p] = hit_cost
+                    cache_time += hit_cost
             fetch_positions = np.asarray(missed, dtype=np.int64)
+
+        # -- tiered cache: batched NVMe promotion, scattered zero-copy ------
+        if promote_keys:
+            t_promote = engine.now
+            results, promote_wall = self.cache.promote_batch(
+                promote_keys, engine.now, column=True
+            )
+            if promote_wall:
+                yield engine.timeout(promote_wall)
+            charge("promote", promote_wall)
+            for key, p in zip(promote_keys, promote_positions):
+                payload, has_header = results[key]
+                # NVMe shards scatter straight into the arena buffers —
+                # no per-sample ndarray is ever allocated on this path.
+                if has_header:
+                    smap.scatter(p, 0, int(payload.nbytes), payload, fields)
+                else:
+                    smap.scatter(p, 32, 32 + int(payload.nbytes), payload, fields)
+                latencies[p] = promote_wall
+            if obs.tracing:
+                obs.tracer.record(
+                    "store.promote",
+                    cat="store.stage",
+                    track=track,
+                    lane=1,
+                    start=t_promote,
+                    end=engine.now,
+                    n=len(promote_keys),
+                )
 
         n_zero = 0
         if fetch_positions.size:
@@ -905,6 +1101,7 @@ class DDStore:
                 m.counter(
                     "ddstore.stage_seconds", stage=stage, rank=track
                 ).inc(seconds)
+            self._publish_tier_metrics(m, track)
         if obs.tracing:
             obs.tracer.record(
                 "store.get_batch",
@@ -955,7 +1152,10 @@ class DDStore:
 
         groups = []
         keys: list[int] = []
+        stage_keys: list[int] = []
         seen: set[int] = set()
+        columnar = self.config.dataplane.columnar
+        tiered = self._tiered
         for batch in batch_indices:
             idx = np.asarray(list(batch), dtype=np.int64)
             if idx.size == 0:
@@ -964,12 +1164,18 @@ class DDStore:
             want = []
             for p in range(idx.size):
                 key = int(idx[p])
-                if (
-                    owners[p] == me
-                    or sizes[p] == 0
-                    or key in seen
-                    or key in self.cache
-                ):
+                if owners[p] == me or sizes[p] == 0 or key in seen:
+                    continue
+                if tiered:
+                    if self.cache.fast_resident(key):
+                        continue
+                    if self.cache.nvme_resident(key, column=columnar):
+                        # Resident one tier down: no wire read needed —
+                        # stage the bytes upward ahead of demand instead.
+                        seen.add(key)
+                        stage_keys.append(key)
+                        continue
+                elif key in self.cache:
                     continue
                 seen.add(key)
                 want.append(p)
@@ -979,57 +1185,85 @@ class DDStore:
                 groups.append(
                     (owners[w] + self._group_base, offsets[w], sizes[w])
                 )
-        if not groups:
+        if not groups and not stage_keys:
             return 0
 
-        plan = self.planner.plan_batches(groups)
-        plan_s = _PLAN_BASE_S + _PLAN_S_PER_REQ * plan.n_requests
-        yield engine.timeout(plan_s)
-        stats.add_prefetch_stage("plan", plan_s)
+        # -- tier-aware staging: lift NVMe-resident future samples ----------
+        n_promoted = 0
+        if stage_keys:
+            t_stage = engine.now
+            n_promoted, stage_wall = self.cache.stage_up(
+                stage_keys, engine.now, column=columnar
+            )
+            if stage_wall:
+                yield engine.timeout(stage_wall)
+                stats.add_prefetch_stage("promote", stage_wall)
+            if obs.tracing and n_promoted:
+                obs.tracer.record(
+                    "store.promote",
+                    cat="store.stage",
+                    track=track,
+                    lane=1,
+                    start=t_stage,
+                    end=engine.now,
+                    n=n_promoted,
+                )
 
-        # One issuing stream per wave batch (times the per-batch worker
-        # count): the wave replaces that many concurrent ``get_samples``
-        # pipelines, so it gets the same software-path concurrency.
-        n_streams = max(1, n_workers) * len(groups)
+        plan = None
+        d_timeouts = d_retries = d_failovers = 0
+        if groups:
+            plan = self.planner.plan_batches(groups)
+            plan_s = _PLAN_BASE_S + _PLAN_S_PER_REQ * plan.n_requests
+            yield engine.timeout(plan_s)
+            stats.add_prefetch_stage("plan", plan_s)
 
-        outcome, d_timeouts, d_retries, d_failovers = yield from self._fetch_reads(
-            plan.reads, n_streams=n_streams
-        )
-        for stage, seconds in outcome.stage_seconds.items():
-            stats.add_prefetch_stage(stage, seconds)
+            # One issuing stream per wave batch (times the per-batch worker
+            # count): the wave replaces that many concurrent ``get_samples``
+            # pipelines, so it gets the same software-path concurrency.
+            n_streams = max(1, n_workers) * len(groups)
 
-        blobs: list[Optional[np.ndarray]] = [None] * plan.n_requests
-        lat = np.zeros(plan.n_requests, dtype=np.float64)
-        self._scatter(plan, outcome, blobs, lat)
-        columnar = self.config.dataplane.columnar
-        for key, blob in zip(keys, blobs):
-            if columnar:
-                # Arena-mode consumers scatter cache hits straight into
-                # field buffers, so park the header-stripped column bytes.
-                self.cache.put_columns(key, blob[32:])
-            else:
-                self.cache.put(key, blob)
+            outcome, d_timeouts, d_retries, d_failovers = yield from self._fetch_reads(
+                plan.reads, n_streams=n_streams
+            )
+            for stage, seconds in outcome.stage_seconds.items():
+                stats.add_prefetch_stage(stage, seconds)
 
+            blobs: list[Optional[np.ndarray]] = [None] * plan.n_requests
+            lat = np.zeros(plan.n_requests, dtype=np.float64)
+            self._scatter(plan, outcome, blobs, lat)
+            for key, blob in zip(keys, blobs):
+                if columnar:
+                    # Arena-mode consumers scatter cache hits straight into
+                    # field buffers, so park the header-stripped column bytes.
+                    self.cache.put_columns(key, blob[32:])
+                else:
+                    self.cache.put(key, blob)
+            stats.n_get_calls += plan.n_reads
+            stats.bytes_transferred += plan.total_bytes
+
+        n_wired = plan.n_requests if plan is not None else 0
+        wire_bytes = plan.total_bytes if plan is not None else 0
+        n_parked = n_wired + n_promoted
         stats.n_prefetch_waves += 1
-        stats.n_prefetched += plan.n_requests
-        stats.bytes_prefetched += plan.total_bytes
-        stats.n_get_calls += plan.n_reads
-        stats.bytes_transferred += plan.total_bytes
+        stats.n_prefetched += n_parked
+        stats.bytes_prefetched += wire_bytes
 
         m = obs.metrics
         if m.enabled:
             for cname, val in (
                 ("n_prefetch_waves", 1),
-                ("n_prefetched", plan.n_requests),
-                ("bytes_prefetched", plan.total_bytes),
-                ("n_get_calls", plan.n_reads),
-                ("bytes_transferred", plan.total_bytes),
+                ("n_prefetched", n_parked),
+                ("n_promoted", n_promoted),
+                ("bytes_prefetched", wire_bytes),
+                ("n_get_calls", plan.n_reads if plan is not None else 0),
+                ("bytes_transferred", wire_bytes),
                 ("n_timeouts", d_timeouts),
                 ("n_retries", d_retries),
                 ("n_failovers", d_failovers),
             ):
                 if val:
                     m.counter("ddstore.prefetch", counter=cname, rank=track).inc(val)
+            self._publish_tier_metrics(m, track)
         if obs.tracing:
             obs.tracer.record(
                 "store.prefetch_wave",
@@ -1038,12 +1272,12 @@ class DDStore:
                 lane=1,
                 start=t_start,
                 end=engine.now,
-                n=plan.n_requests,
-                n_reads=plan.n_reads,
-                nbytes=plan.total_bytes,
+                n=n_parked,
+                n_reads=plan.n_reads if plan is not None else 0,
+                nbytes=wire_bytes,
                 n_batches=len(groups),
             )
-        return plan.n_requests
+        return n_parked
 
     def _fetch_reads(self, reads, n_streams: int) -> Generator:
         """Execute planned reads through the configured resilience ladder.

@@ -21,8 +21,15 @@ caches can be added without touching :class:`~repro.core.store.DDStore`:
   wave fetches, and the Belady cache's future feed.
 """
 
-from .cache import CacheStats, SampleCache
-from .planner import ArenaScatterMap, FetchPlan, FetchPlanner, PlannedRead, ReadSlice
+from .cache import CacheStats, SampleCache, TieredCache, TierStats
+from .planner import (
+    ArenaScatterMap,
+    FetchPlan,
+    FetchPlanner,
+    PlannedRead,
+    ReadSlice,
+    plan_promotions,
+)
 from .scheduler import EpochScheduler
 from .registry import (
     available_frameworks,
@@ -43,8 +50,11 @@ __all__ = [
     "PlannedRead",
     "ReadSlice",
     "ArenaScatterMap",
+    "plan_promotions",
     "SampleCache",
+    "TieredCache",
     "CacheStats",
+    "TierStats",
     "EpochScheduler",
     "RetryPolicy",
     "RetryOutcome",

@@ -28,11 +28,17 @@ from __future__ import annotations
 
 from collections import OrderedDict, deque
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import Callable, Iterable, Optional
 
 import numpy as np
 
-__all__ = ["CacheStats", "SampleCache", "CACHE_POLICIES"]
+__all__ = [
+    "CacheStats",
+    "TierStats",
+    "SampleCache",
+    "TieredCache",
+    "CACHE_POLICIES",
+]
 
 CACHE_POLICIES = ("lru", "belady")
 
@@ -41,7 +47,14 @@ _NEVER = float("inf")  # next-use distance of an entry the future never touches
 
 @dataclass
 class CacheStats:
-    """Cumulative counters of one cache instance."""
+    """Cumulative counters of one cache instance.
+
+    ``hits``/``misses`` are the aggregates the store's fetch counters
+    consume; the ``row_*``/``col_*`` pairs split them by access mode
+    (row :meth:`SampleCache.get` vs columnar
+    :meth:`SampleCache.get_columns`) so tiered roll-ups never conflate
+    whole-blob traffic with header-stripped arena traffic.
+    """
 
     hits: int = 0
     misses: int = 0
@@ -49,6 +62,10 @@ class CacheStats:
     insertions: int = 0
     hit_bytes: int = 0
     evicted_bytes: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    col_hits: int = 0
+    col_misses: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return dict(
@@ -58,6 +75,51 @@ class CacheStats:
             insertions=self.insertions,
             hit_bytes=self.hit_bytes,
             evicted_bytes=self.evicted_bytes,
+            row_hits=self.row_hits,
+            row_misses=self.row_misses,
+            col_hits=self.col_hits,
+            col_misses=self.col_misses,
+        )
+
+
+@dataclass
+class TierStats:
+    """Per-tier counters of a :class:`TieredCache` level.
+
+    * ``hits``/``hit_bytes`` — demand requests served by this tier,
+    * ``promotions``/``promoted_bytes`` — entries copied up out of this
+      tier (NVMe→DRAM reads, DRAM→GPU pins),
+    * ``demotions`` — entries pushed down *into* the next tier when this
+      one evicted them; ``clean_demotions`` are the free subset (bytes
+      already resident below, no write needed),
+    * ``evictions``/``dropped`` — entries that left the hierarchy from
+      this tier (``dropped`` = demotion attempted but the lower tier
+      could not take it),
+    * ``stall_seconds`` — demand-path wall time spent waiting on this
+      tier's device.
+    """
+
+    hits: int = 0
+    hit_bytes: int = 0
+    promotions: int = 0
+    promoted_bytes: int = 0
+    demotions: int = 0
+    clean_demotions: int = 0
+    evictions: int = 0
+    dropped: int = 0
+    stall_seconds: float = 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return dict(
+            hits=self.hits,
+            hit_bytes=self.hit_bytes,
+            promotions=self.promotions,
+            promoted_bytes=self.promoted_bytes,
+            demotions=self.demotions,
+            clean_demotions=self.clean_demotions,
+            evictions=self.evictions,
+            dropped=self.dropped,
+            stall_seconds=self.stall_seconds,
         )
 
 
@@ -75,6 +137,10 @@ class SampleCache:
         self.policy = policy
         self.used_bytes = 0
         self.stats = CacheStats()
+        # Invoked as on_evict(key, payload, is_column) for every entry the
+        # byte budget forces out (not for pop/refresh/clear); the tiered
+        # cache hangs its demotion chain here.
+        self.on_evict: Optional[Callable[[int, np.ndarray, bool], None]] = None
         self._entries: "OrderedDict[int, np.ndarray]" = OrderedDict()
         # Keys whose entry holds a header-stripped column payload (arena
         # mode) rather than a whole packed blob.  Kept as a marker set so
@@ -150,9 +216,11 @@ class SampleCache:
         entry = self._entries.get(key)
         if entry is None or key in self._column_keys:
             self.stats.misses += 1
+            self.stats.row_misses += 1
             return None
         self._entries.move_to_end(key)
         self.stats.hits += 1
+        self.stats.row_hits += 1
         self.stats.hit_bytes += int(entry.nbytes)
         return entry
 
@@ -166,18 +234,20 @@ class SampleCache:
         entry = self._entries.get(key)
         if entry is None or key not in self._column_keys:
             self.stats.misses += 1
+            self.stats.col_misses += 1
             return None
         self._entries.move_to_end(key)
         self.stats.hits += 1
+        self.stats.col_hits += 1
         self.stats.hit_bytes += int(entry.nbytes)
         return entry
 
     def put_columns(self, key: int, payload: np.ndarray) -> bool:
         """Park a header-stripped column slice under ``key`` (arena mode)."""
-        if not self.put(key, payload):
+        if not self.enabled:
             return False
-        self._column_keys.add(key)
-        return True
+        stored = np.ascontiguousarray(payload).view(np.uint8).reshape(-1).copy()
+        return self._insert(key, stored, column=True)
 
     def put(self, key: int, payload: np.ndarray) -> bool:
         """Insert a payload, evicting entries to fit the byte budget.
@@ -192,6 +262,37 @@ class SampleCache:
         # is stored: casting with astype would mangle non-uint8 payloads and
         # nbytes-from-the-input would drift from the resident bytes.
         stored = np.ascontiguousarray(payload).view(np.uint8).reshape(-1).copy()
+        return self._insert(key, stored, column=False)
+
+    def put_owned(self, key: int, stored: np.ndarray, column: bool = False) -> bool:
+        """Insert an already-owned flat ``uint8`` payload *without copying*.
+
+        The tier-move fast path: promotions and demotions hand the same
+        storage array from tier to tier, so bytes are never duplicated in
+        flight.  The caller cedes ownership — the array must not be
+        mutated afterwards.
+        """
+        if not self.enabled:
+            return False
+        if stored.dtype != np.uint8 or stored.ndim != 1:
+            raise ValueError("put_owned requires a flat uint8 payload")
+        return self._insert(key, stored, column=column)
+
+    def pop(self, key: int) -> Optional[tuple[np.ndarray, bool]]:
+        """Remove and return ``(payload, is_column)``, or None if absent.
+
+        A tier *move*, not an eviction: no stats are touched and
+        ``on_evict`` does not fire.
+        """
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return None
+        column = key in self._column_keys
+        self._column_keys.discard(key)
+        self.used_bytes -= int(entry.nbytes)
+        return entry, column
+
+    def _insert(self, key: int, stored: np.ndarray, column: bool) -> bool:
         nbytes = int(stored.nbytes)
         if nbytes > self.capacity_bytes:
             return False
@@ -203,12 +304,17 @@ class SampleCache:
         while self.used_bytes + nbytes > self.capacity_bytes:
             victim_key = self._victim()
             victim = self._entries.pop(victim_key)
+            victim_column = victim_key in self._column_keys
             self._column_keys.discard(victim_key)
             self.used_bytes -= int(victim.nbytes)
             self.stats.evictions += 1
             self.stats.evicted_bytes += int(victim.nbytes)
+            if self.on_evict is not None:
+                self.on_evict(victim_key, victim, victim_column)
         self._entries[key] = stored
         self.used_bytes += nbytes
+        if column:
+            self._column_keys.add(key)
         if not refreshing:
             self.stats.insertions += 1
         return True
@@ -224,3 +330,386 @@ class SampleCache:
         self.used_bytes = 0
         self._future = {}
         self._clock = 0
+
+
+#: AGRF/AGRC per-record header size; NVMe-staged whole blobs carry it,
+#: column payloads demoted from the arena path do not.
+_HEADER_NBYTES = 32
+
+
+class TieredCache:
+    """GPU-pinned → DRAM → NVMe cache hierarchy (PFS is the miss path).
+
+    The fast tiers (``gpu``, ``dram``) are per-rank :class:`SampleCache`
+    instances — an *exclusive* pair: an entry lives in one or the other,
+    and moves between them by handing over the same storage array
+    (:meth:`SampleCache.pop` → :meth:`SampleCache.put_owned`, zero
+    copies).  The ``nvme`` tier is a node-shared
+    :class:`~repro.storage.staging.NVMeShardStore` holding packed bytes,
+    *inclusive* below the fast tiers: entries staged or demoted there
+    stay resident after promotion, so re-demoting them later is a clean
+    drop instead of a write.
+
+    Every boundary runs the same policy.  Under ``belady`` the epoch
+    future installed by the scheduler (:meth:`set_future` /
+    :meth:`advance_to`) drives both eviction (farthest next use leaves
+    first) and *admission*: a full tier refuses an incoming entry whose
+    next use lies beyond its current victim's, so deep prefetch can
+    never churn out sooner-needed bytes.  Under ``lru`` admission is
+    unconditional and eviction is least-recent, per tier.
+
+    Demotion chain: a GPU eviction falls into DRAM; a DRAM eviction is a
+    clean drop when the bytes are already NVMe-resident, a plain exit
+    when Belady knows the entry is never used again, and a write-behind
+    to NVMe otherwise (occupying the device queue but never charged to
+    the demand path).  Promotions out of NVMe are batched
+    (``read_many``) and the promoted payload is handed to DRAM as a
+    view — no per-sample allocation, which is what lets the arena
+    scatter path stay zero-copy end to end.
+    """
+
+    #: Lets the store branch on ``getattr(cache, "tiered", False)``.
+    tiered = True
+
+    def __init__(
+        self,
+        options,  # core.config.CacheOptions (untyped to avoid an import cycle)
+        *,
+        nvme=None,  # storage.staging.NVMeShardStore | None
+        gpu_spec=None,  # hardware.topology.GpuSpec | None
+        dram_hit_base_s: float = 0.0,
+        dram_hit_Bps: float = float("inf"),
+        now_fn: Optional[Callable[[], float]] = None,
+        max_io_bytes: int = 8 << 20,
+    ) -> None:
+        gpu_tier = options.tier("gpu")
+        nvme_tier = options.tier("nvme")
+        if gpu_tier is not None and gpu_spec is None:
+            raise ValueError("a gpu tier needs a GpuSpec to price pinned copies")
+        if nvme_tier is not None and nvme is None:
+            raise ValueError("an nvme tier needs an NVMeShardStore")
+        self.options = options
+        self.policy = options.policy
+        self.gpu_spec = gpu_spec
+        self.gpu = (
+            SampleCache(gpu_tier.capacity_bytes, options.policy)
+            if gpu_tier is not None
+            else None
+        )
+        self.dram = SampleCache(options.dram_bytes, options.policy)
+        self.nvme = nvme if nvme_tier is not None else None
+        self.dram_hit_base_s = dram_hit_base_s
+        self.dram_hit_Bps = dram_hit_Bps
+        self._now = now_fn if now_fn is not None else (lambda: 0.0)
+        self.max_io_bytes = int(max_io_bytes)
+        self.stats = CacheStats()
+        self.tier_stats: dict[str, TierStats] = {"dram": TierStats()}
+        if self.gpu is not None:
+            self.tier_stats["gpu"] = TierStats()
+            self.gpu.on_evict = self._demote_from_gpu
+        if self.nvme is not None:
+            self.tier_stats["nvme"] = TierStats()
+        self.dram.on_evict = self._demote_from_dram
+
+    # -- store-facing surface (SampleCache-compatible) ----------------------
+    @property
+    def enabled(self) -> bool:
+        return self.dram.enabled
+
+    @property
+    def fast_capacity_bytes(self) -> int:
+        """Combined byte budget of the per-rank (gpu+dram) tiers — the
+        scheduler's cap on how much a wave may park."""
+        gpu = self.gpu.capacity_bytes if self.gpu is not None else 0
+        return gpu + self.dram.capacity_bytes
+
+    @property
+    def used_bytes(self) -> int:
+        gpu = self.gpu.used_bytes if self.gpu is not None else 0
+        return gpu + self.dram.used_bytes
+
+    def __len__(self) -> int:
+        return (len(self.gpu) if self.gpu is not None else 0) + len(self.dram)
+
+    def __contains__(self, key: int) -> bool:
+        if self.gpu is not None and key in self.gpu:
+            return True
+        if key in self.dram:
+            return True
+        return self.nvme is not None and key in self.nvme
+
+    def set_future(self, sequence: Iterable[int]) -> None:
+        seq = [int(k) for k in sequence]
+        if self.gpu is not None:
+            self.gpu.set_future(seq)
+        self.dram.set_future(seq)
+
+    def advance_to(self, position: int) -> None:
+        if self.gpu is not None:
+            self.gpu.advance_to(position)
+        self.dram.advance_to(position)
+
+    def put(self, key: int, payload: np.ndarray) -> bool:
+        """Park a wire-fetched whole blob (lands in DRAM, gated)."""
+        if not self.enabled:
+            return False
+        stored = np.ascontiguousarray(payload).view(np.uint8).reshape(-1).copy()
+        return self._admit_wire(key, stored, column=False)
+
+    def put_columns(self, key: int, payload: np.ndarray) -> bool:
+        """Park a wire-fetched header-stripped column slice (DRAM, gated)."""
+        if not self.enabled:
+            return False
+        stored = np.ascontiguousarray(payload).view(np.uint8).reshape(-1).copy()
+        return self._admit_wire(key, stored, column=True)
+
+    def clear(self) -> None:
+        """Drop the per-rank tiers.  The node-shared NVMe tier survives —
+        staged shards were paid for at preload and stay valid."""
+        if self.gpu is not None:
+            self.gpu.clear()
+        self.dram.clear()
+
+    # -- demand path ---------------------------------------------------------
+    def fast_get(
+        self, key: int, column: bool = False
+    ) -> Optional[tuple[np.ndarray, bool, float]]:
+        """Serve ``key`` from a per-rank tier, GPU first.
+
+        Returns ``(payload, has_header, cost_s)`` or None.  A whole blob
+        (header present) serves both modes — the arena path scatters it
+        from offset 0 — while a header-stripped column payload can only
+        serve columnar requests.  The returned array is tier storage:
+        callers must not mutate it.
+        """
+        for name in ("gpu", "dram"):
+            cache = self.gpu if name == "gpu" else self.dram
+            if cache is None:
+                continue
+            entry = cache._entries.get(key)
+            if entry is None:
+                continue
+            is_col = key in cache._column_keys
+            if not column and is_col:
+                continue  # stripped payload cannot serve the row path
+            cache._entries.move_to_end(key)
+            nbytes = int(entry.nbytes)
+            ts = self.tier_stats[name]
+            ts.hits += 1
+            ts.hit_bytes += nbytes
+            self.stats.hits += 1
+            self.stats.hit_bytes += nbytes
+            if column:
+                self.stats.col_hits += 1
+            else:
+                self.stats.row_hits += 1
+            if name == "gpu":
+                from ..hardware.gpu import pinned_read_time
+
+                cost = pinned_read_time(self.gpu_spec, nbytes)
+            else:
+                cost = self.dram_hit_base_s + nbytes / self.dram_hit_Bps
+            return entry, not is_col, cost
+        return None
+
+    def fast_resident(self, key: int) -> bool:
+        """Is ``key`` in a per-rank tier (no device IO needed to serve)?"""
+        return (self.gpu is not None and key in self.gpu) or key in self.dram
+
+    def count_miss(self, column: bool = False) -> None:
+        """Record a full-hierarchy miss (the sample goes to the wire)."""
+        self.stats.misses += 1
+        if column:
+            self.stats.col_misses += 1
+        else:
+            self.stats.row_misses += 1
+
+    def nvme_resident(self, key: int, column: bool = False) -> bool:
+        """Is ``key`` promotable from NVMe for this access mode?"""
+        return self.nvme is not None and self.nvme.resident(key, column)
+
+    def promote_batch(
+        self, keys: list, now: float, column: bool = False
+    ) -> tuple[dict, float]:
+        """Demand-promote NVMe-resident entries.
+
+        Issues bounded batched reads (one flash latency per IO group, not
+        per sample), parks each payload in DRAM for reuse (Belady-gated,
+        as a view — zero copies), and returns
+        ``({key: (payload, has_header)}, wall_seconds)``.  The caller
+        charges ``wall_seconds`` to the new "promote" fetch stage.
+        """
+        if self.nvme is None or not keys:
+            return {}, 0.0
+        from .planner import plan_promotions
+
+        entries = []
+        for k in keys:
+            payload, has_header = self.nvme.get(int(k))
+            entries.append((int(k), payload, has_header))
+        spans = plan_promotions(
+            [int(p.nbytes) for _, p, _ in entries], self.max_io_bytes
+        )
+        done = now
+        for lo, hi in spans:
+            nbytes = sum(int(entries[i][1].nbytes) for i in range(lo, hi))
+            done = max(done, self.nvme.device.read_many(hi - lo, nbytes, now))
+        wall = max(0.0, done - now)
+        ts = self.tier_stats["nvme"]
+        ts.stall_seconds += wall
+        results = {}
+        for k, payload, has_header in entries:
+            nbytes = int(payload.nbytes)
+            ts.hits += 1
+            ts.hit_bytes += nbytes
+            ts.promotions += 1
+            ts.promoted_bytes += nbytes
+            self.stats.hits += 1
+            self.stats.hit_bytes += nbytes
+            if column:
+                self.stats.col_hits += 1
+            else:
+                self.stats.row_hits += 1
+            results[k] = (payload, has_header)
+            park = payload[_HEADER_NBYTES:] if (column and has_header) else payload
+            if self._admit_ok(self.dram, k, int(park.nbytes)):
+                self.dram.put_owned(k, park, column=column)
+        return results, wall
+
+    # -- prefetch path -------------------------------------------------------
+    def stage_up(
+        self, keys: list, now: float, column: bool = False
+    ) -> tuple[int, float]:
+        """Wave prefetch: stage NVMe-resident future-window entries into
+        the fast tiers ahead of demand.
+
+        Batched reads park admission-approved entries in DRAM; when a GPU
+        tier exists, entries it will take are then lifted DRAM→GPU at
+        pinned-copy cost.  Returns ``(n_promoted, wall_seconds)``.
+        """
+        if self.nvme is None or not keys:
+            return 0, 0.0
+        picked = []
+        for k in keys:
+            k = int(k)
+            if self.gpu is not None and k in self.gpu:
+                continue
+            if k in self.dram:
+                continue
+            if not self.nvme.resident(k, column):
+                continue
+            payload, has_header = self.nvme.get(k)
+            park = payload[_HEADER_NBYTES:] if (column and has_header) else payload
+            if not self._admit_ok(self.dram, k, int(park.nbytes)):
+                continue
+            picked.append((k, payload, park))
+        if not picked:
+            return 0, 0.0
+        from .planner import plan_promotions
+
+        spans = plan_promotions([int(p.nbytes) for _, p, _ in picked], self.max_io_bytes)
+        done = now
+        for lo, hi in spans:
+            nbytes = sum(int(picked[i][1].nbytes) for i in range(lo, hi))
+            done = max(done, self.nvme.device.read_many(hi - lo, nbytes, now))
+        wall = max(0.0, done - now)
+        ts = self.tier_stats["nvme"]
+        for k, payload, park in picked:
+            ts.promotions += 1
+            ts.promoted_bytes += int(payload.nbytes)
+            self.dram.put_owned(k, park, column=column)
+        if self.gpu is not None:
+            from ..hardware.gpu import pinned_write_time
+
+            gpu_ts = self.tier_stats["gpu"]
+            for k, payload, park in picked:
+                if not self._admit_ok(self.gpu, k, int(park.nbytes)):
+                    continue
+                popped = self.dram.pop(k)
+                if popped is None:
+                    continue  # DRAM already demoted it; leave it be
+                stored, is_col = popped
+                self.gpu.put_owned(k, stored, is_col)
+                wall += pinned_write_time(self.gpu_spec, int(stored.nbytes))
+                gpu_ts.promotions += 1
+                gpu_ts.promoted_bytes += int(stored.nbytes)
+        return len(picked), wall
+
+    # -- metrics -------------------------------------------------------------
+    def tier_counters(self) -> dict[str, float]:
+        """Flat ``"<tier>.<counter>" -> value`` snapshot for delta-based
+        metric publishing."""
+        out: dict[str, float] = {}
+        for name, ts in self.tier_stats.items():
+            for counter, value in ts.as_dict().items():
+                out[f"{name}.{counter}"] = value
+        return out
+
+    # -- internals -----------------------------------------------------------
+    def _admit_ok(self, cache: SampleCache, key: int, nbytes: int) -> bool:
+        """Belady admission gate: a full tier refuses an entry whose next
+        use is farther than its current victim's (or unknown)."""
+        if not cache.enabled or nbytes > cache.capacity_bytes:
+            return False
+        if key in cache._entries:
+            return True  # refresh
+        if cache.used_bytes + nbytes <= cache.capacity_bytes:
+            return True
+        if cache.policy != "belady" or not cache._future:
+            return True  # LRU admits unconditionally (evicting as needed)
+        incoming = cache._next_use(key)
+        if incoming == _NEVER:
+            return False
+        return incoming < cache._next_use(cache._victim())
+
+    def _admit_wire(self, key: int, stored: np.ndarray, column: bool) -> bool:
+        if not self._admit_ok(self.dram, key, int(stored.nbytes)):
+            self.tier_stats["dram"].dropped += 1
+            return False
+        if self.dram.put_owned(key, stored, column=column):
+            self.stats.insertions += 1
+            return True
+        return False
+
+    def _demote_from_gpu(self, key: int, payload: np.ndarray, is_column: bool) -> None:
+        ts = self.tier_stats["gpu"]
+        ts.demotions += 1
+        if self._admit_ok(self.dram, key, int(payload.nbytes)):
+            self.dram.put_owned(key, payload, is_column)
+            return
+        self._fall_below_dram(key, payload, is_column, ts)
+
+    def _demote_from_dram(self, key: int, payload: np.ndarray, is_column: bool) -> None:
+        ts = self.tier_stats["dram"]
+        ts.demotions += 1
+        self._fall_below_dram(key, payload, is_column, ts)
+
+    def _fall_below_dram(
+        self, key: int, payload: np.ndarray, is_column: bool, ts: TierStats
+    ) -> None:
+        nbytes = int(payload.nbytes)
+        if self.nvme is not None and key in self.nvme:
+            # Bytes already resident below (pinned stage or an earlier
+            # demotion): dropping the fast copy costs nothing.
+            ts.clean_demotions += 1
+            return
+        if (
+            self.policy == "belady"
+            and self.dram._future
+            and self.dram._next_use(key) == _NEVER
+        ):
+            # Belady says this entry is never referenced again this
+            # epoch: an NVMe write would be pure waste.
+            ts.evictions += 1
+            self.stats.evictions += 1
+            self.stats.evicted_bytes += nbytes
+            return
+        if self.nvme is not None:
+            done = self.nvme.write_behind(key, payload, not is_column, self._now())
+            if done is not None:
+                return  # write-behind queued; bytes stay in the hierarchy
+            ts.dropped += 1
+        else:
+            ts.evictions += 1
+        self.stats.evictions += 1
+        self.stats.evicted_bytes += nbytes

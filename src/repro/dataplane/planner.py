@@ -24,7 +24,14 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-__all__ = ["ReadSlice", "PlannedRead", "FetchPlan", "FetchPlanner", "ArenaScatterMap"]
+__all__ = [
+    "ReadSlice",
+    "PlannedRead",
+    "FetchPlan",
+    "FetchPlanner",
+    "ArenaScatterMap",
+    "plan_promotions",
+]
 
 #: Field order shared with the batch arena: id is the index into this tuple.
 ARENA_FIELDS = ("positions", "node_features", "edge_index", "y")
@@ -345,3 +352,35 @@ class FetchPlanner:
                 PlannedRead(target=target, offset=int(a), nbytes=int(b - a), slices=tuple(slices))
             )
         return out
+
+
+def plan_promotions(
+    sizes: Sequence[int], max_io_bytes: int = 8 << 20
+) -> list[tuple[int, int]]:
+    """Group NVMe promotion requests into bounded batched IO submissions.
+
+    ``sizes`` are the per-entry byte counts of the shards to promote, in
+    request order.  Returns ``[lo, hi)`` index spans: each span becomes
+    one queue-depth>1 submission (:meth:`NVMeDevice.read_many`), paying
+    the flash latency once for the whole group while keeping any single
+    submission under ``max_io_bytes`` so one giant promotion cannot
+    monopolise the node-shared device queue.  An entry larger than the
+    cap still gets its own span — it must move somehow.
+    """
+    if max_io_bytes < 1:
+        raise ValueError(f"max_io_bytes must be positive, got {max_io_bytes}")
+    spans: list[tuple[int, int]] = []
+    lo = 0
+    acc = 0
+    for i, nbytes in enumerate(sizes):
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValueError("negative promotion size")
+        if i > lo and acc + nbytes > max_io_bytes:
+            spans.append((lo, i))
+            lo = i
+            acc = 0
+        acc += nbytes
+    if lo < len(sizes):
+        spans.append((lo, len(sizes)))
+    return spans

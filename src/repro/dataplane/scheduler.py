@@ -150,6 +150,10 @@ class EpochScheduler:
 
     def _partition_waves(self) -> None:
         n = len(self.batches)
+        # Tier-aware cap: a wave bigger than the fast (gpu+dram) tiers
+        # would demote its own head before the trailing batches consume
+        # it, so cut waves at the fast-tier budget as well.
+        fast_cap = getattr(self._cache, "fast_capacity_bytes", None)
         lo = 0
         while lo < n:
             hi = lo + 1
@@ -161,6 +165,8 @@ class EpochScheduler:
             while hi < n and hi - lo < limit:
                 nxt = self._batch_bytes(hi)
                 if self.budget is not None and wave_bytes + nxt > self.budget:
+                    break
+                if fast_cap is not None and wave_bytes + nxt > fast_cap:
                     break
                 wave_bytes += nxt
                 hi += 1

@@ -14,7 +14,27 @@ from dataclasses import dataclass
 
 from .topology import GpuSpec
 
-__all__ = ["GpuModel", "GnnWorkload"]
+__all__ = ["GpuModel", "GnnWorkload", "pinned_read_time", "pinned_write_time"]
+
+
+def pinned_write_time(spec: GpuSpec, nbytes: int) -> float:
+    """Admit bytes into the GPU-pinned staging pool.
+
+    Pinning pageable memory goes through the driver (one launch-scale
+    setup) and the copy into the page-locked region moves at the PCIe
+    link rate — the same bandwidth h2d transfers see.
+    """
+    return spec.kernel_launch_s + nbytes / spec.h2d_bandwidth_Bps
+
+
+def pinned_read_time(spec: GpuSpec, nbytes: int) -> float:
+    """Serve bytes out of the GPU-pinned pool on the demand path.
+
+    Pinned pages are DMA-ready: no page faults and no driver round trip,
+    so the read costs only the copy, which sustains roughly twice the
+    pageable-path rate.
+    """
+    return nbytes / (2.0 * spec.h2d_bandwidth_Bps)
 
 
 @dataclass(frozen=True)

@@ -75,13 +75,40 @@ class NVMeDevice:
         self.used_bytes += nbytes
 
     def release(self, nbytes: int) -> None:
-        self.used_bytes = max(0, self.used_bytes - nbytes)
+        if nbytes < 0:
+            raise ValueError("negative release")
+        if nbytes > self.used_bytes:
+            # Silently clamping here would leak capacity: a tier that
+            # double-releases an entry frees bytes it never held and the
+            # accounting bug stays invisible.  Fail loudly instead.
+            raise ValueError(
+                f"NVMe over-release: asked to free {nbytes} bytes with only "
+                f"{self.used_bytes} allocated"
+            )
+        self.used_bytes -= nbytes
 
     def read(self, nbytes: int, arrival: float) -> float:
         """Random read of ``nbytes``; returns completion time."""
         if nbytes < 0:
             raise ValueError("negative read")
         service = 1.0 / self.spec.iops + nbytes / self.spec.read_bandwidth_Bps
+        done = self.station.serve(arrival, service)
+        return done + self.spec.read_latency_s
+
+    def read_many(self, n_requests: int, nbytes: int, arrival: float) -> float:
+        """One submitted batch of ``n_requests`` random reads totalling
+        ``nbytes``; returns completion time.
+
+        Models a queue-depth>1 submission (io_uring/AIO style): each
+        request still costs one IOPS slot and its bytes, but the whole
+        batch pays the flash latency once — the amortisation the tiered
+        cache's grouped promotion reads rely on.
+        """
+        if n_requests < 1:
+            raise ValueError("read_many needs at least one request")
+        if nbytes < 0:
+            raise ValueError("negative read")
+        service = n_requests / self.spec.iops + nbytes / self.spec.read_bandwidth_Bps
         done = self.station.serve(arrival, service)
         return done + self.spec.read_latency_s
 

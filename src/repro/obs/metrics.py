@@ -159,22 +159,33 @@ class MetricsRegistry:
                 out += inst.value
         return out
 
-    def sum_by(self, name: str, group_label: str, **label_filter: Any) -> dict:
-        """Counter totals of ``name`` grouped by one label's values.
+    def sum_by(self, name: str, *group_labels: str, **label_filter: Any) -> dict:
+        """Counter totals of ``name`` grouped by one or more labels' values.
 
-        Series missing the group label are skipped.  Keys come back in
-        sorted order, so roll-ups are deterministic.
+        With a single group label keys are that label's values; with
+        several, keys are value tuples in label order (e.g.
+        ``sum_by("ddstore.tier", "tier", "counter")`` yields
+        ``{("dram", "hits"): ...}``).  Series missing any group label are
+        skipped.  Keys come back in sorted order, so roll-ups are
+        deterministic.
         """
+        if not group_labels:
+            raise TypeError("sum_by needs at least one group label")
         groups: dict[Any, float] = {}
         for (n, labels), inst in self._counters.items():
             if n != name:
                 continue
             d = dict(labels)
-            if group_label not in d:
+            if any(g not in d for g in group_labels):
                 continue
             if not all(d.get(k) == v for k, v in label_filter.items()):
                 continue
-            groups[d[group_label]] = groups.get(d[group_label], 0.0) + inst.value
+            key = (
+                d[group_labels[0]]
+                if len(group_labels) == 1
+                else tuple(d[g] for g in group_labels)
+            )
+            groups[key] = groups.get(key, 0.0) + inst.value
         return {k: groups[k] for k in sorted(groups, key=repr)}
 
     # -- export -----------------------------------------------------------
@@ -250,7 +261,7 @@ class NullMetricsRegistry:
     def total(self, name: str, **label_filter: Any) -> float:
         return 0.0
 
-    def sum_by(self, name: str, group_label: str, **label_filter: Any) -> dict:
+    def sum_by(self, name: str, *group_labels: str, **label_filter: Any) -> dict:
         return {}
 
     def as_dict(self) -> dict:

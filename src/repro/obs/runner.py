@@ -86,6 +86,34 @@ def _columnar_cfg(profile):
     )
 
 
+def _tiered_cfg(profile):
+    """The tiered cache hierarchy cell: NVMe->arena promotion traced.
+
+    Mirrors the ablation-tiered full-stage probe (NVMe holds the whole
+    dataset) so every wave byte promotes off the node-local burst buffer
+    and the "promote" stage spans (demand promotions and wave stage-ups)
+    tile into the critical-path analysis with zero prefetch wire bytes.
+    """
+    from ..bench.harness import ExperimentConfig
+
+    return ExperimentConfig(
+        machine="summit",
+        n_nodes=max(4, profile.summit_nodes // 4),
+        dataset="aisd-ex-smooth",
+        method="ddstore",
+        shuffle="global",
+        batch_size=16,
+        steps_per_epoch=8,
+        epochs=2,
+        hidden_dim=16,
+        columnar=True,
+        scheduler=True,
+        prefetch_depth=2,
+        cache_policy="belady",
+        tiers="gpu:2m+dram:4m+nvme:512m",
+    )
+
+
 def _p2p_cfg(profile):
     """The rejected two-sided design, for comparing trace shapes."""
     from ..bench.harness import ExperimentConfig
@@ -105,6 +133,7 @@ TRACEABLE: dict[str, tuple[Callable, str]] = {
     "fig9": (_fig9_cfg, "function-duration cell (Fig 9 shape)"),
     "resilience": (_resilience_cfg, "straggler fault with retry/failover armed"),
     "columnar": (_columnar_cfg, "zero-copy columnar arena-scatter byte path"),
+    "tiered": (_tiered_cfg, "tiered cache hierarchy with NVMe promotion"),
     "p2p": (_p2p_cfg, "two-sided ablation data plane"),
 }
 
