@@ -25,11 +25,16 @@ Subpackages
 ``repro.obs``
     Unified observability: metrics registry, span tracing with Chrome
     export, and the critical-path analyzer behind ``python -m repro trace``.
+``repro.serving``
+    Multi-tenant serving layer: one store, N concurrent jobs behind
+    per-tenant sessions with admission control and DRR fairness.
+``repro.client``
+    The public facade: ``connect`` (solo session) / ``serve`` (service).
 
 Quick start: see ``examples/quickstart.py``.
 """
 
-from . import bench, core, gnn, graphs, hardware, mpi, obs, sim, storage
+from . import bench, client, core, gnn, graphs, hardware, mpi, obs, serving, sim, storage
 
 __version__ = "1.0.0"
 
@@ -43,5 +48,7 @@ __all__ = [
     "gnn",
     "bench",
     "obs",
+    "serving",
+    "client",
     "__version__",
 ]

@@ -20,6 +20,7 @@ from typing import Optional
 
 import numpy as np
 
+from .. import client
 from ..core import (
     DataLoader,
     DataPlaneOptions,
@@ -326,15 +327,20 @@ def _rank_main(ctx, cfg: ExperimentConfig, blobs: list[bytes]):
     else:
         reader = CFFReader(vfs, root, machine)
         store_cfg = cfg.ddstore_config()
-        store = yield from DDStore.create(
+        # The serving-layer facade: a solo session whose .store IS the raw
+        # store, so single-tenant bench numbers are bit-identical to the
+        # pre-session DDStore.create path.
+        session = yield from client.connect(
             ctx.comm,
             ReaderSource(reader),
             width=cfg.width,
             dataplane=store_cfg.dataplane,
             resilience=store_cfg.resilience,
+            serving=store_cfg.serving,
             record_latencies=cfg.record_latencies,
         )
-        dataset = DDStoreDataset(store, stats_only=cfg.stats_only, n_workers=cfg.n_workers)
+        store = session.store
+        dataset = session.dataset(stats_only=cfg.stats_only, n_workers=cfg.n_workers)
     preload_time = ctx.now - t_setup
 
     # -- model + trainer ------------------------------------------------------

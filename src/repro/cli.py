@@ -3,14 +3,17 @@
 Usage::
 
     python -m repro list                      # what can be regenerated
-    python -m repro run fig4 table2           # specific experiments
-    python -m repro run all [--scale small]   # the whole evaluation
+    python -m repro bench fig4 table2         # paper tables and figures
+    python -m repro bench all [--scale small] # the whole paper evaluation
+    python -m repro ablation serving --check  # repo ablations (short names ok)
+    python -m repro trace fig5 [--check]      # traced run + Chrome export
     python -m repro machines                  # calibrated machine specs
     python -m repro datasets [--samples 100]  # dataset statistics
-    python -m repro trace fig5 [--check]      # traced run + Chrome export
 
-Reports (text + JSON) are written to ``bench_results/`` (override with
-``REPRO_RESULTS_DIR``); scale via ``--scale`` or ``REPRO_BENCH_SCALE``.
+``run`` is a deprecated alias covering both ``bench`` and ``ablation``;
+it still works but prints a notice.  Reports (text + JSON) are written
+to ``bench_results/`` (override with ``REPRO_RESULTS_DIR``); scale via
+``--scale`` or ``REPRO_BENCH_SCALE``.
 """
 
 from __future__ import annotations
@@ -18,7 +21,8 @@ from __future__ import annotations
 import argparse
 import os
 import sys
-from typing import Callable
+from dataclasses import dataclass, field
+from typing import Callable, Optional
 
 from .bench import (
     current_profile,
@@ -50,8 +54,9 @@ from .bench.ablations import (
     ablation_tiered,
     ablation_workers,
 )
+from .bench.serving import ablation_serving
 
-EXPERIMENTS: dict[str, tuple[Callable, str]] = {
+BENCHES: dict[str, tuple[Callable, str]] = {
     "table1": (table1_datasets, "dataset description (paper Table 1)"),
     "fig4": (fig4_speedup, "normalized end-to-end speedup"),
     "fig5": (fig5_breakdown, "training time breakdown, 64 GPUs Perlmutter"),
@@ -65,11 +70,15 @@ EXPERIMENTS: dict[str, tuple[Callable, str]] = {
     "fig12": (fig12_width_cdf, "width CDF, default vs width=2"),
     "table3": (table3_width_median, "width median latency reduction"),
     "fig13": (fig13_convergence, "training convergence (real numerics)"),
+}
+
+ABLATIONS: dict[str, tuple[Callable, str]] = {
     "ablation-dataplane": (ablation_dataplane, "RMA vs two-sided p2p"),
     "ablation-coalescing": (ablation_coalescing, "fetch coalescing + hot-sample cache"),
     "ablation-prefetch": (ablation_prefetch, "epoch-ahead scheduler: depth-k x waves x eviction"),
     "ablation-columnar": (ablation_columnar, "row decode vs zero-copy columnar arena scatter"),
     "ablation-tiered": (ablation_tiered, "tiered cache hierarchy gpu/dram/nvme/pfs"),
+    "ablation-serving": (ablation_serving, "multi-tenant serving: QoS isolation + aggregate throughput"),
     "ablation-shuffle": (ablation_shuffle, "global vs local shuffle"),
     "ablation-nvme": (ablation_nvme, "NVMe staging vs DDStore"),
     "ablation-workers": (ablation_workers, "loader-worker sensitivity"),
@@ -78,32 +87,43 @@ EXPERIMENTS: dict[str, tuple[Callable, str]] = {
     "resilience": (ablation_resilience, "straggler fault + retry/failover recovery"),
 }
 
+# The union both the deprecated `run` spelling and `list` operate on.
+EXPERIMENTS: dict[str, tuple[Callable, str]] = {**BENCHES, **ABLATIONS}
+
 # Drivers that take no profile argument.
 _NO_PROFILE = {"table1"}
 
 
-def _cmd_list(_args: argparse.Namespace) -> int:
-    width = max(len(k) for k in EXPERIMENTS)
-    print("available experiments:\n")
-    for key, (_fn, desc) in EXPERIMENTS.items():
-        print(f"  {key.ljust(width)}  {desc}")
-    print("\nrun with:  python -m repro run <name> [<name> ...] | all")
-    return 0
+def _resolve(name: str, table: dict[str, tuple[Callable, str]]) -> Optional[str]:
+    """Canonical experiment key for a (possibly short) CLI spelling:
+    ``serving`` -> ``ablation-serving``."""
+    if name in table:
+        return name
+    if f"ablation-{name}" in table:
+        return f"ablation-{name}"
+    return None
 
 
-def _cmd_run(args: argparse.Namespace) -> int:
+def _run_experiments(names: list[str], table: dict, args: argparse.Namespace) -> int:
+    """The one experiment runner behind ``bench``, ``ablation``, and the
+    deprecated ``run`` spelling."""
     if args.scale:
         os.environ["REPRO_BENCH_SCALE"] = args.scale
     profile = current_profile()
-    names = list(EXPERIMENTS) if "all" in args.names else args.names
-    unknown = [n for n in names if n not in EXPERIMENTS]
-    if unknown:
-        print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
-        print(f"available: {', '.join(EXPERIMENTS)}", file=sys.stderr)
-        return 2
+    if "all" in names:
+        resolved = list(table)
+    else:
+        resolved, unknown = [], []
+        for n in names:
+            key = _resolve(n, table)
+            (resolved if key else unknown).append(key or n)
+        if unknown:
+            print(f"unknown experiment(s): {', '.join(unknown)}", file=sys.stderr)
+            print(f"available: {', '.join(table)}", file=sys.stderr)
+            return 2
     failed: list[str] = []
-    for name in names:
-        fn, desc = EXPERIMENTS[name]
+    for name in resolved:
+        fn, desc = table[name]
         print(f"== {name}: {desc} (scale profile: {profile.name}) ==")
         text, data = fn() if name in _NO_PROFILE else fn(profile)
         write_report(name.replace("-", "_"), text, data)
@@ -118,6 +138,39 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if failed:
         return 1
     return 0
+
+
+def _add_run_flags(p: argparse.ArgumentParser, what: str) -> None:
+    p.add_argument("names", nargs="+", help=f"{what} names, or 'all'")
+    p.add_argument("--scale", choices=["tiny", "small", "paper"], default=None)
+    p.add_argument(
+        "--check",
+        action="store_true",
+        help="exit nonzero if an experiment's self-checks (data['checks']) fail",
+    )
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    width = max(len(k) for k in EXPERIMENTS)
+    print("paper benches (python -m repro bench <name>):\n")
+    for key, (_fn, desc) in BENCHES.items():
+        print(f"  {key.ljust(width)}  {desc}")
+    print("\nablations (python -m repro ablation <name>):\n")
+    for key, (_fn, desc) in ABLATIONS.items():
+        print(f"  {key.ljust(width)}  {desc}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    return _run_experiments(args.names, BENCHES, args)
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    return _run_experiments(args.names, ABLATIONS, args)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    return _run_experiments(args.names, EXPERIMENTS, args)
 
 
 def _cmd_machines(_args: argparse.Namespace) -> int:
@@ -195,6 +248,78 @@ def _cmd_dataplane(_args: argparse.Namespace) -> int:
     return 0
 
 
+# ---------------------------------------------------------------------------
+# subcommand registry (one declarative table instead of an if/elif ladder)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Command:
+    """One CLI subcommand: its spelling(s), flags, and runner."""
+
+    name: str
+    help: str
+    run: Callable[[argparse.Namespace], int]
+    configure: Optional[Callable[[argparse.ArgumentParser], None]] = None
+    aliases: tuple = ()
+    deprecated_aliases: tuple = ()
+    replacement_hint: str = ""
+
+
+COMMANDS: tuple[Command, ...] = (
+    Command("list", "list available experiments", _cmd_list, aliases=("ls",)),
+    Command(
+        "bench",
+        "run paper tables/figures (fig4..fig13, table1..table3)",
+        _cmd_bench,
+        configure=lambda p: _add_run_flags(p, "bench"),
+    ),
+    Command(
+        "ablation",
+        "run repo ablations ('serving' == 'ablation-serving')",
+        _cmd_ablation,
+        configure=lambda p: _add_run_flags(p, "ablation"),
+    ),
+    Command(
+        "run",
+        "(deprecated) run any experiment; use 'bench' or 'ablation'",
+        _cmd_run,
+        configure=lambda p: _add_run_flags(p, "experiment"),
+        deprecated_aliases=("run",),
+        replacement_hint="use 'python -m repro bench <name>' or "
+        "'python -m repro ablation <name>' instead",
+    ),
+    Command(
+        "trace",
+        "run one experiment traced; export Chrome trace JSON",
+        _cmd_trace,
+        configure=lambda p: (
+            p.add_argument(
+                "name",
+                help="traceable experiment (fig5, fig9, resilience, columnar, tiered, p2p)",
+            ),
+            p.add_argument("--scale", choices=["tiny", "small", "paper"], default=None),
+            p.add_argument("--out", default=None, help="output path for the trace JSON"),
+            p.add_argument("--tolerance", type=float, default=0.01),
+            p.add_argument(
+                "--check",
+                action="store_true",
+                help="also verify the export is bit-deterministic (runs twice)",
+            ),
+        )
+        and None,
+    ),
+    Command("machines", "show calibrated machine models", _cmd_machines),
+    Command(
+        "datasets",
+        "dataset statistics (Table 1)",
+        _cmd_datasets,
+        configure=lambda p: p.add_argument("--samples", type=int, default=100) and None,
+    ),
+    Command("dataplane", "list registered data-plane transports", _cmd_dataplane),
+)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -202,47 +327,27 @@ def main(argv: list[str] | None = None) -> int:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list available experiments").set_defaults(fn=_cmd_list)
-
-    run = sub.add_parser("run", help="run one or more experiments")
-    run.add_argument("names", nargs="+", help="experiment names, or 'all'")
-    run.add_argument("--scale", choices=["tiny", "small", "paper"], default=None)
-    run.add_argument(
-        "--check",
-        action="store_true",
-        help="exit nonzero if an experiment's self-checks (data['checks']) fail",
-    )
-    run.set_defaults(fn=_cmd_run)
-
-    sub.add_parser("machines", help="show calibrated machine models").set_defaults(
-        fn=_cmd_machines
-    )
-
-    ds = sub.add_parser("datasets", help="dataset statistics (Table 1)")
-    ds.add_argument("--samples", type=int, default=100)
-    ds.set_defaults(fn=_cmd_datasets)
-
-    tr = sub.add_parser(
-        "trace", help="run one experiment traced; export Chrome trace JSON"
-    )
-    tr.add_argument(
-        "name", help="traceable experiment (fig5, fig9, resilience, columnar, tiered, p2p)"
-    )
-    tr.add_argument("--scale", choices=["tiny", "small", "paper"], default=None)
-    tr.add_argument("--out", default=None, help="output path for the trace JSON")
-    tr.add_argument("--tolerance", type=float, default=0.01)
-    tr.add_argument(
-        "--check",
-        action="store_true",
-        help="also verify the export is bit-deterministic (runs twice)",
-    )
-    tr.set_defaults(fn=_cmd_trace)
-
-    sub.add_parser(
-        "dataplane", help="list registered data-plane transports"
-    ).set_defaults(fn=_cmd_dataplane)
+    deprecated: dict[str, Command] = {}
+    for cmd in COMMANDS:
+        # A command whose *primary* name is deprecated (e.g. `run`) is
+        # registered under that spelling but flagged below.
+        spellings = (cmd.name,) + tuple(a for a in cmd.aliases if a != cmd.name)
+        p = sub.add_parser(
+            spellings[0], aliases=list(spellings[1:]), help=cmd.help
+        )
+        if cmd.configure is not None:
+            cmd.configure(p)
+        p.set_defaults(fn=cmd.run)
+        for alias in cmd.deprecated_aliases:
+            deprecated[alias] = cmd
 
     args = parser.parse_args(argv)
+    cmd = deprecated.get(args.command)
+    if cmd is not None:
+        print(
+            f"[deprecated] 'python -m repro {args.command}' — {cmd.replacement_hint}",
+            file=sys.stderr,
+        )
     return args.fn(args)
 
 

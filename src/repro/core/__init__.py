@@ -7,6 +7,7 @@ from .config import (
     DDStoreConfig,
     FRAMEWORKS,
     ResilienceOptions,
+    ServingOptions,
     TierSpec,
 )
 from .loader import (
@@ -29,6 +30,7 @@ __all__ = [
     "CacheOptions",
     "TierSpec",
     "ResilienceOptions",
+    "ServingOptions",
     "StoreClosedError",
     "FRAMEWORKS",
     "FETCH_STAGES",

@@ -18,10 +18,14 @@ dataclasses:
   coalescing, read-size cap, hot-sample cache budget,
 * :class:`ResilienceOptions` — how a fetch behaves when a peer is slow or
   dead: per-read virtual-time timeout, retry/backoff schedule, and
-  replica failover.
+  replica failover,
+* :class:`ServingOptions` — the multi-tenant serving layer: admission
+  limits, per-tenant QoS classes and DRR fairness quanta, and how the
+  sample-cache budget is partitioned between concurrent tenants.
 
 Flat keyword construction (``DDStoreConfig(n, framework=..., cache_bytes=...)``)
-still works but emits :class:`DeprecationWarning`; migrate to::
+was deprecated in favour of the nested groups and has been removed; it now
+raises :class:`TypeError` with a migration hint::
 
     DDStoreConfig(n, width=w,
                   dataplane=DataPlaneOptions(framework="mpi-rma", cache_bytes=1 << 20),
@@ -30,8 +34,7 @@ still works but emits :class:`DeprecationWarning`; migrate to::
 
 from __future__ import annotations
 
-import warnings
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Optional
 
 __all__ = [
@@ -39,18 +42,29 @@ __all__ = [
     "CacheOptions",
     "DataPlaneOptions",
     "ResilienceOptions",
+    "ServingOptions",
     "DDStoreConfig",
     "FRAMEWORKS",
     "TIER_KINDS",
+    "ADMISSION_POLICIES",
+    "CACHE_PARTITION_POLICIES",
 ]
 
 #: The built-in frameworks.  Validation consults the live transport
 #: registry, so this tuple is informational (and kept for back-compat).
 FRAMEWORKS = ("mpi-rma", "p2p")
 
-#: Flat DDStoreConfig keywords accepted for back-compat -> their new home.
+#: Former flat DDStoreConfig keywords -> their nested home.  Kept only to
+#: turn an old call site into a *pointed* TypeError instead of a generic
+#: unexpected-keyword one.
 _FLAT_DATAPLANE = ("framework", "coalesce", "max_read_bytes", "cache_bytes")
 _FLAT_RESILIENCE = ("timeout_s", "max_retries", "backoff_s", "backoff_factor", "failover")
+
+#: What StoreService.connect does when every tenant slot is taken.
+ADMISSION_POLICIES = ("reject", "evict-idle")
+
+#: How the parent store's sample-cache budget is carved between tenants.
+CACHE_PARTITION_POLICIES = ("equal", "weighted")
 
 #: Recognised cache tiers, fastest first.  ``gpu`` and ``dram`` are
 #: per-rank byte pools; ``nvme`` is the node-shared burst buffer.  The
@@ -321,20 +335,163 @@ class ResilienceOptions:
         return self.backoff_s * self.backoff_factor ** min(max(attempt - 1, 0), 16)
 
 
+@dataclass(frozen=True)
+class ServingOptions:
+    """The multi-tenant serving layer: many jobs, one replicated store.
+
+    Consumed by :class:`repro.serving.StoreService`; a plain single-job
+    :class:`~.store.DDStore` never reads these, so the defaults cannot
+    perturb existing runs.
+
+    * ``max_tenants`` — concurrent sessions a rank's service admits,
+    * ``admission`` — what ``connect`` does when every slot is taken:
+      ``"reject"`` raises :class:`~repro.serving.AdmissionError`,
+      ``"evict-idle"`` closes the longest-idle session with no in-flight
+      bytes (and rejects only if *every* tenant is mid-fetch),
+    * ``max_inflight_bytes`` — per-tenant cap on wire bytes in flight; a
+      fetch wave larger than the cap is admitted alone (head-of-line
+      progress), everything else queues,
+    * ``drr_quantum_bytes`` — the deficit-round-robin quantum: each
+      service turn a tenant's deficit grows by ``quantum * qos_weight``
+      and its queued reads issue while the deficit covers them,
+    * ``target_inflight_bytes`` — cap on the bytes in flight toward any
+      single RMA target, partitioned between QoS *classes* in proportion
+      to their weights (DiffServ-style: a latency class never queues
+      behind a throughput class's backlog — see
+      :meth:`target_share`); once a class's share of a target is
+      saturated, that class's further reads queue there in DRR order.
+      ``None`` disables the per-target gate (DRR then never engages —
+      grants are immediate),
+    * ``qos`` — the QoS classes as ``(name, weight)`` pairs; weights
+      scale both the DRR quantum and the ``"weighted"`` cache carve,
+    * ``cache_partition`` — how the parent store's DRAM cache budget is
+      split between tenant sessions: ``"equal"`` gives every slot
+      ``budget / max_tenants``; ``"weighted"`` gives a tenant
+      ``budget * weight / (max_tenants * max_weight)``.  Both are static
+      (independent of arrival order), so a late tenant can never shrink
+      an admitted tenant's partition.
+    """
+
+    max_tenants: int = 4
+    admission: str = "reject"
+    max_inflight_bytes: Optional[int] = None
+    drr_quantum_bytes: int = 256 << 10
+    target_inflight_bytes: Optional[int] = 1 << 20
+    qos: tuple = (("interactive", 4), ("batch", 1))
+    cache_partition: str = "equal"
+
+    def __post_init__(self) -> None:
+        if self.max_tenants < 1:
+            raise ValueError(
+                f"max_tenants must be >= 1, got {self.max_tenants}"
+            )
+        if self.admission not in ADMISSION_POLICIES:
+            raise ValueError(
+                f"admission must be one of {ADMISSION_POLICIES}, "
+                f"got {self.admission!r}"
+            )
+        if self.max_inflight_bytes is not None and self.max_inflight_bytes < 1:
+            raise ValueError(
+                f"max_inflight_bytes must be positive, got "
+                f"{self.max_inflight_bytes}"
+            )
+        if self.drr_quantum_bytes < 1:
+            raise ValueError(
+                f"drr_quantum_bytes must be positive, got "
+                f"{self.drr_quantum_bytes}"
+            )
+        if self.target_inflight_bytes is not None and self.target_inflight_bytes < 1:
+            raise ValueError(
+                f"target_inflight_bytes must be positive, got "
+                f"{self.target_inflight_bytes}"
+            )
+        if not isinstance(self.qos, tuple):
+            object.__setattr__(self, "qos", tuple(self.qos))
+        if not self.qos:
+            raise ValueError("qos needs at least one (name, weight) class")
+        names = []
+        for entry in self.qos:
+            if (
+                not isinstance(entry, tuple)
+                or len(entry) != 2
+                or not isinstance(entry[0], str)
+            ):
+                raise TypeError(
+                    f"qos entries must be (name, weight) pairs, got {entry!r}"
+                )
+            name, weight = entry
+            if not isinstance(weight, int) or weight < 1:
+                raise ValueError(
+                    f"qos weight for {name!r} must be an int >= 1, got {weight!r}"
+                )
+            names.append(name)
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate qos class names: {names}")
+        if self.cache_partition not in CACHE_PARTITION_POLICIES:
+            raise ValueError(
+                f"cache_partition must be one of {CACHE_PARTITION_POLICIES}, "
+                f"got {self.cache_partition!r}"
+            )
+
+    @property
+    def default_qos(self) -> str:
+        """The first listed class — what ``connect`` uses when unspecified."""
+        return self.qos[0][0]
+
+    def weight_of(self, qos_class: str) -> int:
+        for name, weight in self.qos:
+            if name == qos_class:
+                return weight
+        raise KeyError(
+            f"unknown qos class {qos_class!r}; options: "
+            f"{[name for name, _ in self.qos]}"
+        )
+
+    def target_share(self, qos_class: str) -> Optional[int]:
+        """This QoS class's slice of the per-target in-flight byte cap.
+
+        Classes get private pools proportional to their weights, so a
+        latency-class read can never wait on a throughput class's
+        in-flight bytes — only on its own class's.  Within a class,
+        tenants share the pool in DRR order.  ``None`` when the
+        per-target gate is disabled.
+        """
+        if self.target_inflight_bytes is None:
+            return None
+        total_weight = sum(weight for _, weight in self.qos)
+        return max(
+            1, self.target_inflight_bytes * self.weight_of(qos_class) // total_weight
+        )
+
+    def partition_bytes(self, total_bytes: int, qos_class: str) -> int:
+        """This tenant's slice of a ``total_bytes`` cache budget."""
+        if total_bytes <= 0:
+            return 0
+        if self.cache_partition == "equal":
+            return total_bytes // self.max_tenants
+        max_weight = max(weight for _, weight in self.qos)
+        return (total_bytes * self.weight_of(qos_class)) // (
+            self.max_tenants * max_weight
+        )
+
+
 @dataclass(frozen=True, init=False)
 class DDStoreConfig:
     """Validated DDStore parameters for a given job size.
 
     ``width=None`` means the paper default ``w = N`` (single replica
-    striped over all ranks).  Data-plane and resilience knobs live in the
-    nested :class:`DataPlaneOptions` / :class:`ResilienceOptions` groups;
-    the old flat keywords are accepted with a :class:`DeprecationWarning`.
+    striped over all ranks).  Data-plane, resilience, and serving knobs
+    live in the nested :class:`DataPlaneOptions` /
+    :class:`ResilienceOptions` / :class:`ServingOptions` groups; the old
+    flat keywords (removed after their deprecation cycle) raise
+    :class:`TypeError` with a hint naming the group they moved to.
     """
 
     n_ranks: int
     width: Optional[int] = None
     dataplane: DataPlaneOptions = field(default_factory=DataPlaneOptions)
     resilience: ResilienceOptions = field(default_factory=ResilienceOptions)
+    serving: ServingOptions = field(default_factory=ServingOptions)
 
     def __init__(
         self,
@@ -342,6 +499,7 @@ class DDStoreConfig:
         width: Optional[int] = None,
         dataplane: Optional[DataPlaneOptions] = None,
         resilience: Optional[ResilienceOptions] = None,
+        serving: Optional[ServingOptions] = None,
         **flat,
     ) -> None:
         unknown = [k for k in flat if k not in _FLAT_DATAPLANE + _FLAT_RESILIENCE]
@@ -350,21 +508,24 @@ class DDStoreConfig:
                 f"DDStoreConfig got unexpected keyword(s) {sorted(unknown)}"
             )
         if flat:
-            warnings.warn(
-                f"flat DDStoreConfig keyword(s) {sorted(flat)} are deprecated; "
-                "pass dataplane=DataPlaneOptions(...) / "
-                "resilience=ResilienceOptions(...) instead",
-                DeprecationWarning,
-                stacklevel=2,
+            hints = []
+            for key in sorted(flat):
+                group = (
+                    "dataplane=DataPlaneOptions"
+                    if key in _FLAT_DATAPLANE
+                    else "resilience=ResilienceOptions"
+                )
+                hints.append(f"{key} -> {group}({key}=...)")
+            raise TypeError(
+                f"flat DDStoreConfig keyword(s) {sorted(flat)} were removed "
+                "(deprecated since the nested options API landed); migrate: "
+                + "; ".join(hints)
             )
-            dp_flat = {k: v for k, v in flat.items() if k in _FLAT_DATAPLANE}
-            rs_flat = {k: v for k, v in flat.items() if k in _FLAT_RESILIENCE}
-            dataplane = replace(dataplane or DataPlaneOptions(), **dp_flat)
-            resilience = replace(resilience or ResilienceOptions(), **rs_flat)
         object.__setattr__(self, "n_ranks", n_ranks)
         object.__setattr__(self, "width", width)
         object.__setattr__(self, "dataplane", dataplane or DataPlaneOptions())
         object.__setattr__(self, "resilience", resilience or ResilienceOptions())
+        object.__setattr__(self, "serving", serving or ServingOptions())
         self._validate()
 
     def _validate(self) -> None:
@@ -388,6 +549,10 @@ class DDStoreConfig:
         if not isinstance(self.resilience, ResilienceOptions):
             raise TypeError(
                 f"resilience must be ResilienceOptions, got {type(self.resilience)!r}"
+            )
+        if not isinstance(self.serving, ServingOptions):
+            raise TypeError(
+                f"serving must be ServingOptions, got {type(self.serving)!r}"
             )
         # failover=True with a single replica degrades to plain retry:
         # "width permitting" is part of the ResilienceOptions contract.

@@ -52,17 +52,19 @@ from ..graphs import SAMPLE_ALLOCATIONS, AtomicGraph, BatchArena
 from ..mpi import Comm
 from ..storage import SampleStats, decode_time, peek_header, scatter_time, unpack_graph
 from .chunking import ChunkLayout
-from .config import DataPlaneOptions, DDStoreConfig, ResilienceOptions
+from .config import DataPlaneOptions, DDStoreConfig, ResilienceOptions, ServingOptions
 from .preloader import DataSource
 from .registry import ChunkRegistry, ShapeTable
 
 __all__ = ["DDStore", "FetchStats", "FETCH_STAGES", "StoreClosedError"]
 
 #: The instrumented stages of one ``get_samples`` call, in pipeline order
-#: ("retry" charges the backoff waits between fetch re-issues; "promote"
-#: is the tiered cache's NVMe→DRAM batched-read wall time; "scatter" is
-#: the columnar path's arena assembly, which replaces "decode").
-FETCH_STAGES = ("plan", "lock", "get", "retry", "copy", "cache", "promote", "decode", "scatter")
+#: ("queue" is the multi-tenant serving layer's DRR/admission wait before
+#: wire issue — zero on single-tenant stores; "retry" charges the backoff
+#: waits between fetch re-issues; "promote" is the tiered cache's
+#: NVMe→DRAM batched-read wall time; "scatter" is the columnar path's
+#: arena assembly, which replaces "decode").
+FETCH_STAGES = ("plan", "queue", "lock", "get", "retry", "copy", "cache", "promote", "decode", "scatter")
 
 
 class StoreClosedError(RuntimeError):
@@ -198,6 +200,15 @@ class DDStore:
         # resetting ``store.stats`` mid-run cannot resurrect old cache hits.
         self._cache_base = self.cache.stats.as_dict()
         self._closed = False
+        # Multi-tenant serving hooks: a plain store has no lane and no
+        # tenant identity, which keeps the whole serving layer off the
+        # single-job fetch path (bit-identical defaults).  Session views
+        # built by ``session_view`` carry a TenantLane (the DRR/admission
+        # gate consulted in ``_fetch_reads``) and a tenant/qos label pair
+        # for the ``ddstore.tenant`` metric family.
+        self._lane = None
+        self._tenant: Optional[str] = None
+        self._qos: Optional[str] = None
 
     def _build_tiered_cache(self, cache_opts) -> TieredCache:
         """Assemble the GPU→DRAM→NVMe hierarchy for this rank.
@@ -267,6 +278,7 @@ class DDStore:
         width: Optional[int] = None,
         dataplane: Optional[DataPlaneOptions] = None,
         resilience: Optional[ResilienceOptions] = None,
+        serving: Optional[ServingOptions] = None,
         record_latencies: bool = False,
         **flat,
     ) -> Generator:
@@ -274,17 +286,21 @@ class DDStore:
 
         ``source`` supplies the packed samples (a preloader plugin).
         Data-plane tuning (framework, coalescing, cache) comes in through
-        ``dataplane`` and fault handling (timeout/retry/failover) through
-        ``resilience`` — see :class:`~.config.DataPlaneOptions` and
-        :class:`~.config.ResilienceOptions`.  Flat keywords of the old API
-        (``framework=``, ``cache_bytes=``, ...) are still accepted with a
-        :class:`DeprecationWarning`.  Returns this rank's :class:`DDStore`.
+        ``dataplane``, fault handling (timeout/retry/failover) through
+        ``resilience``, and multi-tenant admission/fairness through
+        ``serving`` — see :class:`~.config.DataPlaneOptions`,
+        :class:`~.config.ResilienceOptions`, and
+        :class:`~.config.ServingOptions`.  Flat keywords of the old API
+        (``framework=``, ``cache_bytes=``, ...) were removed after their
+        deprecation cycle and raise :class:`TypeError` with a migration
+        hint.  Returns this rank's :class:`DDStore`.
         """
         config = DDStoreConfig(
             comm.size,
             width=width,
             dataplane=dataplane,
             resilience=resilience,
+            serving=serving,
             **flat,
         )
         group_comm = yield from comm.split(
@@ -774,6 +790,14 @@ class DDStore:
                     "ddstore.stage_seconds", stage=stage, rank=track
                 ).inc(seconds)
             self._publish_tier_metrics(m, track)
+            self._publish_tenant(
+                m,
+                track,
+                int(idx.size),
+                engine.now - t_start,
+                plan.total_bytes if plan is not None else 0,
+                call_stages.get("queue", 0.0),
+            )
         if obs.tracing:
             obs.tracer.record(
                 "store.get_samples",
@@ -786,6 +810,7 @@ class DDStore:
                 n_local=int(local_positions.size),
                 n_remote=n_remote_served,
                 n_cache_hits=d_hits,
+                **({"tenant": self._tenant, "qos": self._qos} if self._tenant else {}),
             )
         return graphs
 
@@ -1102,6 +1127,14 @@ class DDStore:
                     "ddstore.stage_seconds", stage=stage, rank=track
                 ).inc(seconds)
             self._publish_tier_metrics(m, track)
+            self._publish_tenant(
+                m,
+                track,
+                int(idx.size),
+                engine.now - t_start,
+                plan.total_bytes if plan is not None else 0,
+                call_stages.get("queue", 0.0),
+            )
         if obs.tracing:
             obs.tracer.record(
                 "store.get_batch",
@@ -1114,6 +1147,7 @@ class DDStore:
                 n_local=int(local_positions.size),
                 n_remote=n_remote_served,
                 n_cache_hits=d_hits,
+                **({"tenant": self._tenant, "qos": self._qos} if self._tenant else {}),
             )
         return latencies
 
@@ -1211,6 +1245,7 @@ class DDStore:
 
         plan = None
         d_timeouts = d_retries = d_failovers = 0
+        wave_queue_wait = 0.0
         if groups:
             plan = self.planner.plan_batches(groups)
             plan_s = _PLAN_BASE_S + _PLAN_S_PER_REQ * plan.n_requests
@@ -1225,6 +1260,7 @@ class DDStore:
             outcome, d_timeouts, d_retries, d_failovers = yield from self._fetch_reads(
                 plan.reads, n_streams=n_streams
             )
+            wave_queue_wait = outcome.stage_seconds.get("queue", 0.0)
             for stage, seconds in outcome.stage_seconds.items():
                 stats.add_prefetch_stage(stage, seconds)
 
@@ -1264,6 +1300,14 @@ class DDStore:
                 if val:
                     m.counter("ddstore.prefetch", counter=cname, rank=track).inc(val)
             self._publish_tier_metrics(m, track)
+            self._publish_tenant(
+                m,
+                track,
+                n_parked,
+                engine.now - t_start,
+                wire_bytes,
+                wave_queue_wait,
+            )
         if obs.tracing:
             obs.tracer.record(
                 "store.prefetch_wave",
@@ -1276,6 +1320,7 @@ class DDStore:
                 n_reads=plan.n_reads if plan is not None else 0,
                 nbytes=wire_bytes,
                 n_batches=len(groups),
+                **({"tenant": self._tenant, "qos": self._qos} if self._tenant else {}),
             )
         return n_parked
 
@@ -1285,36 +1330,68 @@ class DDStore:
         The single wire-issue point shared by the demand path, the wave
         prefetcher, and the arena path: with resilience enabled reads ride
         the timeout/retry/failover machinery, otherwise they go straight
-        to the transport.  Returns
+        to the transport.  Session-scoped handles additionally pass the
+        reads through their :class:`~repro.serving.TenantLane` first —
+        the per-target DRR grant plus the per-tenant in-flight byte cap —
+        and charge the wait to the ``"queue"`` stage.  Returns
         ``(outcome, n_timeouts, n_retries, n_failovers)`` with the
         cumulative stats counters already updated.
         """
-        res = self.config.resilience
-        if res.enabled:
-            reroute = (
-                self._reroute if res.failover and self.n_replicas > 1 else None
+        lane = self._lane
+        queue_wait = 0.0
+        if lane is not None:
+            engine = self.comm.engine
+            t_queue = engine.now
+            yield from lane.acquire(reads)
+            queue_wait = engine.now - t_queue
+            if queue_wait:
+                obs = self.comm.communicator.world.obs
+                if obs.tracing:
+                    obs.tracer.record(
+                        "store.queue",
+                        cat="store.stage",
+                        track=self.comm.world_rank,
+                        lane=1,
+                        start=t_queue,
+                        end=engine.now,
+                        tenant=self._tenant,
+                    )
+        try:
+            res = self.config.resilience
+            if res.enabled:
+                reroute = (
+                    self._reroute if res.failover and self.n_replicas > 1 else None
+                )
+                retry_out = yield from fetch_with_retry(
+                    self.transport,
+                    reads,
+                    policy=RetryPolicy.from_options(res),
+                    engine=self.comm.engine,
+                    n_streams=n_streams,
+                    reroute=reroute,
+                    obs=self.comm.communicator.world.obs,
+                    track=self.comm.world_rank,
+                )
+                self.stats.n_timeouts += retry_out.n_timeouts
+                self.stats.n_retries += retry_out.n_retries
+                self.stats.n_failovers += retry_out.n_failovers
+                outcome = retry_out.outcome
+                counters = (
+                    retry_out.n_timeouts,
+                    retry_out.n_retries,
+                    retry_out.n_failovers,
+                )
+            else:
+                outcome = yield from self.transport.fetch(reads, n_streams=n_streams)
+                counters = (0, 0, 0)
+        finally:
+            if lane is not None:
+                lane.release(reads)
+        if queue_wait:
+            outcome.stage_seconds["queue"] = (
+                outcome.stage_seconds.get("queue", 0.0) + queue_wait
             )
-            retry_out = yield from fetch_with_retry(
-                self.transport,
-                reads,
-                policy=RetryPolicy.from_options(res),
-                engine=self.comm.engine,
-                n_streams=n_streams,
-                reroute=reroute,
-                obs=self.comm.communicator.world.obs,
-                track=self.comm.world_rank,
-            )
-            self.stats.n_timeouts += retry_out.n_timeouts
-            self.stats.n_retries += retry_out.n_retries
-            self.stats.n_failovers += retry_out.n_failovers
-            return (
-                retry_out.outcome,
-                retry_out.n_timeouts,
-                retry_out.n_retries,
-                retry_out.n_failovers,
-            )
-        outcome = yield from self.transport.fetch(reads, n_streams=n_streams)
-        return outcome, 0, 0, 0
+        return (outcome,) + counters
 
     @staticmethod
     def _scatter(plan, outcome, blobs, latencies) -> None:
@@ -1377,6 +1454,97 @@ class DDStore:
         ranks = [g * w + member for g in groups]
         self._failover_order[member] = ranks
         return ranks
+
+    # ------------------------------------------------------------------
+    # multi-tenant session views
+    # ------------------------------------------------------------------
+    def session_view(
+        self,
+        *,
+        tenant: str,
+        qos: str,
+        cache,
+        lane,
+        record_latencies: Optional[bool] = None,
+    ) -> "DDStore":
+        """A re-entrant, session-scoped handle on this store's data plane.
+
+        The view shares the immutable heavy state — registry, layout,
+        transport (and its RMA windows), config, communicators — but owns
+        everything a concurrent tenant must not share: its
+        :class:`FetchStats`, its partition of the sample cache
+        (``cache``), and its :class:`~repro.serving.TenantLane` (``lane``,
+        the DRR/in-flight-byte gate ``_fetch_reads`` consults before wire
+        issue).  Closing a view never releases the parent's DRAM
+        accounting; closing the parent store invalidates every view's
+        wire path the usual way (the transport is shared).
+
+        Built by :class:`repro.serving.StoreService` — single-job callers
+        never need one.
+        """
+        clone = object.__new__(type(self))
+        clone.__dict__.update(self.__dict__)
+        clone.stats = FetchStats()
+        clone.cache = cache
+        clone._tiered = bool(getattr(cache, "tiered", False))
+        clone._tier_base = cache.tier_counters() if clone._tiered else {}
+        clone._cache_base = cache.stats.as_dict()
+        clone._closed = False
+        clone._lane = lane
+        clone._tenant = tenant
+        clone._qos = qos
+        clone._charged_bytes = 0  # the parent owns the DRAM accounting
+        clone._failover_order = dict(self._failover_order)
+        if record_latencies is not None:
+            clone.record_latencies = record_latencies
+        if lane is not None:
+            # Each session acts as its own RMA client: an independent
+            # epoch gate and lock bookkeeping over the shared window, so
+            # one tenant's lock→get→unlock epoch never convoys another
+            # tenant's fetch on the same rank (the shared NIC is still
+            # contended — that lives in the interconnect model).
+            clone.transport = self.transport.session_clone()
+            # Session fetch plans interleave their reads round-robin
+            # across targets so one tenant's wave releases each target's
+            # DRR grant as early as possible for the other tenants, and
+            # cap each read at the DRR quantum (never below the largest
+            # sample): grants — and the head-of-line blocking a small
+            # interactive read can suffer at a target's wire FIFO — stay
+            # quantum-sized instead of whole-batch-sized.
+            quantum = max(
+                self.config.serving.drr_quantum_bytes,
+                self.registry.max_sample_bytes(),
+            )
+            mrb = self.planner.max_read_bytes
+            clone.planner = FetchPlanner(
+                coalesce=self.planner.coalesce,
+                max_read_bytes=quantum if mrb is None else min(mrb, quantum),
+                fair_interleave=True,
+            )
+        return clone
+
+    def _publish_tenant(
+        self, m, track: int, n_samples: int, seconds: float,
+        wire_bytes: int, queue_seconds: float,
+    ) -> None:
+        """Roll this call up into the ``ddstore.tenant`` metric family
+        (labels: tenant, qos, counter, rank).  No-op on plain stores."""
+        if self._tenant is None:
+            return
+        for cname, val in (
+            ("n_samples", n_samples),
+            ("fetch_seconds", seconds),
+            ("wire_bytes", wire_bytes),
+            ("queue_seconds", queue_seconds),
+        ):
+            if val:
+                m.counter(
+                    "ddstore.tenant",
+                    tenant=self._tenant,
+                    qos=self._qos or "default",
+                    counter=cname,
+                    rank=track,
+                ).inc(val)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -1449,6 +1617,7 @@ class DDStore:
             width=width,
             dataplane=self.config.dataplane,
             resilience=self.config.resilience,
+            serving=self.config.serving,
             record_latencies=self.record_latencies,
         )
         if close_old:

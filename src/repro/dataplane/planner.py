@@ -148,13 +148,27 @@ class FetchPlanner:
     request, in request order, no splitting.  ``max_read_bytes`` (only
     honoured when coalescing) bounds the size of any single read; spans —
     and single oversized samples — larger than that are split.
+
+    ``fair_interleave=True`` reorders the finished plan round-robin
+    across targets (read 0 of every target, then read 1, ...) instead of
+    the grouped-by-owner order.  The multi-tenant serving layer plans
+    with this on: a tenant's fetch then finishes with — and releases the
+    DRR grant of — each target as early as possible, instead of holding
+    its last target's grant while the first targets sit drained.  The
+    read *set* is identical either way; only issue order changes.
     """
 
-    def __init__(self, coalesce: bool = True, max_read_bytes: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        coalesce: bool = True,
+        max_read_bytes: Optional[int] = None,
+        fair_interleave: bool = False,
+    ) -> None:
         if max_read_bytes is not None and max_read_bytes < 1:
             raise ValueError(f"max_read_bytes must be positive, got {max_read_bytes}")
         self.coalesce = coalesce
         self.max_read_bytes = max_read_bytes
+        self.fair_interleave = fair_interleave
 
     def plan(
         self,
@@ -196,11 +210,30 @@ class FetchPlanner:
                 )
                 for t, o, s, p in zip(targets, offsets, sizes, positions)
             )
-            return FetchPlan(reads=reads, n_requests=n)
+            return FetchPlan(reads=self._ordered(reads), n_requests=n)
 
         order = np.lexsort((offsets, targets))
         reads = self._coalesced(order, targets, offsets, sizes, positions)
-        return FetchPlan(reads=tuple(reads), n_requests=n)
+        return FetchPlan(reads=self._ordered(tuple(reads)), n_requests=n)
+
+    def _ordered(self, reads: tuple) -> tuple:
+        """Apply the fairness interleave (round-robin across targets)."""
+        if not self.fair_interleave or len(reads) < 3:
+            return tuple(reads)
+        by_target: dict[int, list[PlannedRead]] = {}
+        for read in reads:
+            by_target.setdefault(read.target, []).append(read)
+        if len(by_target) < 2:
+            return tuple(reads)
+        queues = [by_target[t] for t in sorted(by_target)]
+        out: list[PlannedRead] = []
+        depth = 0
+        while len(out) < len(reads):
+            for q in queues:
+                if depth < len(q):
+                    out.append(q[depth])
+            depth += 1
+        return tuple(out)
 
     def plan_batches(
         self,

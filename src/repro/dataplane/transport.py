@@ -93,6 +93,17 @@ class Transport(abc.ABC):
         return
         yield  # pragma: no cover - generator for API symmetry
 
+    def session_clone(self) -> "Transport":
+        """A handle for one tenant session of the serving layer.
+
+        A multi-tenant service runs N logically independent client jobs
+        on one store; each behaves like its own process, so per-client
+        serialisation state (e.g. RMA lock-epoch tracking) must not be
+        shared between sessions.  Transports with no such state — like
+        the two-sided P2P design, which is re-entrant — return ``self``.
+        """
+        return self
+
 
 class _EpochGate:
     """Serialises one rank's RMA lock epochs.
@@ -147,6 +158,20 @@ class RmaTransport(Transport):
 
     def local_buffer(self) -> np.ndarray:
         return self.win.local
+
+    def session_clone(self) -> "RmaTransport":
+        """Per-tenant handle: own epoch gate and lock bookkeeping.
+
+        MPI's one-epoch-per-process rule binds a *process*, and each
+        tenant of the serving layer models an independent client job —
+        so a session gets its own :class:`~repro.mpi.rma.WinHandle`
+        (its own ``_held`` map) and its own :class:`_EpochGate`, while
+        the :class:`~repro.mpi.rma.Window` itself — the exposed buffers
+        and the modelled NIC contention behind every get — stays shared.
+        Without this, an interactive tenant's fetch convoys behind a
+        bulk tenant's entire lock→get→unlock epoch on the same rank.
+        """
+        return type(self)(WinHandle(self.win.window, self.win.comm))
 
     def fetch(
         self,

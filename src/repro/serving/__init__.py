@@ -1,0 +1,20 @@
+"""Multi-tenant serving layer: N concurrent jobs on one DDStore.
+
+:class:`StoreService` owns one replicated store and hands out
+:class:`TenantSession` handles with admission control, per-tenant cache
+partitions, and deficit-round-robin fairness at every RMA target
+(:class:`DrrArbiter` / :class:`TenantLane`).  Single-job code should use
+the :func:`repro.client.connect` facade instead.
+"""
+
+from .drr import DrrArbiter, TenantLane
+from .service import AdmissionError, StoreService, TenantSession, solo_session
+
+__all__ = [
+    "AdmissionError",
+    "DrrArbiter",
+    "StoreService",
+    "TenantLane",
+    "TenantSession",
+    "solo_session",
+]

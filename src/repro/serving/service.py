@@ -1,0 +1,342 @@
+"""StoreService and TenantSession: N concurrent jobs on one DDStore.
+
+The single-job API hands every caller the same :class:`~repro.core.DDStore`
+handle; the serving layer multiplexes that store between independent
+tenants instead.  A :class:`StoreService` wraps one *already-created*
+replicated store (creation stays the collective
+:meth:`DDStore.create` / :func:`repro.client.serve` path) and hands out
+:class:`TenantSession` handles:
+
+* **Admission control** — at most ``ServingOptions.max_tenants``
+  concurrent sessions per rank.  When full, ``connect`` either raises
+  :class:`AdmissionError` (``admission="reject"``) or closes the
+  longest-idle session with no bytes in flight (``"evict-idle"``) to
+  make room — rejecting only when every tenant is mid-fetch.
+* **QoS + fairness** — each session carries a QoS class from
+  ``ServingOptions.qos``; its weight scales the session's DRR quantum at
+  every RMA target (see :mod:`.drr`) and, under the ``"weighted"``
+  policy, its slice of the cache budget.
+* **Cache partitioning** — each session owns a private
+  :class:`~repro.dataplane.SampleCache` carved from the parent store's
+  DRAM cache budget (``cache_bytes`` or the tiered cache's DRAM tier),
+  sized by :meth:`ServingOptions.partition_bytes`.  Partitions are
+  static, so one tenant's working set can never evict another's bytes —
+  the no-cross-contamination property the serving tests pin down.
+* **Per-tenant observability** — sessions publish the
+  ``ddstore.tenant`` metric family (labels: tenant, qos, counter, rank)
+  and tag their store spans with the tenant name; the service itself
+  counts connects, closes, evictions, and rejections.
+
+Session state machine::
+
+    connect() ──> OPEN ──fetch──> OPEN (in-flight > 0)
+                   │                      │
+                   │ close()              │ fetch completes
+                   ▼                      ▼
+                 CLOSED <──evict-idle── OPEN (idle)
+
+A closed (or evicted) session raises
+:class:`~repro.core.StoreClosedError` on any further fetch; ``close`` is
+idempotent.  Closing a session never touches the parent store.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional, Sequence
+
+from ..core.config import ServingOptions
+from ..core.store import DDStore
+from ..dataplane import SampleCache
+from .drr import DrrArbiter, TenantLane
+
+__all__ = ["AdmissionError", "StoreService", "TenantSession", "solo_session"]
+
+
+class AdmissionError(RuntimeError):
+    """connect() found no free tenant slot (and could not evict one)."""
+
+
+class TenantSession:
+    """One tenant's rank-local handle on a shared store.
+
+    ``session.store`` is a session-scoped :class:`DDStore` view — same
+    fetch API, own stats/cache/fairness lane — so everything that
+    consumes a store (datasets, loaders, the epoch scheduler, trainers)
+    works unchanged on top of a session.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        qos: str,
+        store: DDStore,
+        lane: Optional[TenantLane],
+        service: Optional["StoreService"] = None,
+    ) -> None:
+        self.name = name
+        self.qos = qos
+        self.store = store
+        self.lane = lane
+        self.service = service
+        self.evicted = False
+
+    # -- inspection -----------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self.store.closed
+
+    @property
+    def stats(self):
+        """This session's private :class:`~repro.core.FetchStats`."""
+        return self.store.stats
+
+    @property
+    def cache(self):
+        return self.store.cache
+
+    @property
+    def idle(self) -> bool:
+        """No wire bytes in flight (solo sessions are always idle)."""
+        return self.lane is None or self.lane.inflight == 0
+
+    # -- the fetch surface (thin delegation; the view does the work) ----
+    def get_samples(self, indices: Sequence[int], decode: bool = True, n_workers: int = 1) -> Generator:
+        return (yield from self.store.get_samples(indices, decode=decode, n_workers=n_workers))
+
+    def get_batch_arena(self, indices, arena, n_workers: int = 1) -> Generator:
+        return (yield from self.store.get_batch_arena(indices, arena, n_workers=n_workers))
+
+    def prefetch_wave(self, batch_indices, n_workers: int = 1) -> Generator:
+        return (yield from self.store.prefetch_wave(batch_indices, n_workers=n_workers))
+
+    def dataset(self, stats_only: bool = False, n_workers: int = 1):
+        """A :class:`~repro.core.DDStoreDataset` over this session."""
+        from ..core.loader import DDStoreDataset
+
+        return DDStoreDataset(self.store, stats_only=stats_only, n_workers=n_workers)
+
+    def loader(
+        self,
+        ctx,
+        batch_size: int,
+        *,
+        shuffle: str = "global",
+        seed: int = 0,
+        steps_per_epoch: Optional[int] = None,
+        stats_only: bool = False,
+        n_workers: int = 1,
+    ):
+        """A ready-to-train :class:`~repro.core.DataLoader` (own epoch
+        schedule, driven by this session's private cache and stats)."""
+        from ..core.loader import DataLoader
+
+        return DataLoader(
+            self.dataset(stats_only=stats_only, n_workers=n_workers),
+            ctx,
+            batch_size=batch_size,
+            shuffle=shuffle,
+            seed=seed,
+            steps_per_epoch=steps_per_epoch,
+        )
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        """Idempotent, rank-local.  Solo sessions (no service) own their
+        store and close it; service sessions close only their view."""
+        if self.store.closed and self.service is None:
+            return
+        if self.service is not None:
+            self.service._release(self)
+        self.store.close()
+
+    def __enter__(self) -> "TenantSession":
+        if self.closed:
+            from ..core.store import StoreClosedError
+
+            raise StoreClosedError("cannot enter a closed TenantSession")
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self.closed else ("idle" if self.idle else "active")
+        return f"TenantSession({self.name!r}, qos={self.qos!r}, {state})"
+
+
+class StoreService:
+    """Owns one replicated store; hands out per-tenant sessions.
+
+    Rank-local (every rank of the job builds its own service over its
+    own store handle); the DRR arbiters behind it are shared across the
+    whole world, so fairness is enforced at each RMA *target*, not per
+    initiator.
+    """
+
+    def __init__(self, store: DDStore, options: Optional[ServingOptions] = None) -> None:
+        if store.closed:
+            raise ValueError("cannot serve a closed store")
+        self.store = store
+        self.options = options if options is not None else store.config.serving
+        self._sessions: dict[str, TenantSession] = {}
+        self._seq = 0
+        self._closed = False
+        # Arbiters are per (service-group, target) and shared by all ranks:
+        # every rank's coroutines run in the one engine, so a single
+        # arbiter object can queue and wake waiters world-wide.  The
+        # communicator object is shared by exactly the ranks of this
+        # store's comm, which scopes the registry key.
+        world = store.comm.communicator.world
+        self._arbiters: dict[int, DrrArbiter] = (
+            world.__dict__.setdefault("_serving_arbiters", {})
+            .setdefault(id(store.comm.communicator), {})
+        )
+
+    # -- internals ------------------------------------------------------
+    def _arbiter_for(self, target: int) -> DrrArbiter:
+        arb = self._arbiters.get(target)
+        if arb is None:
+            arb = DrrArbiter(
+                self.store.comm.engine,
+                self.options.drr_quantum_bytes,
+            )
+            self._arbiters[target] = arb
+        return arb
+
+    def _cache_budget(self) -> int:
+        """The DRAM byte pool sessions partition: the flat cache budget,
+        or the tiered hierarchy's DRAM tier."""
+        dp = self.store.config.dataplane
+        if dp.cache is not None:
+            return dp.cache.dram_bytes
+        return dp.cache_bytes
+
+    def _count(self, counter: str, tenant: str, qos: str) -> None:
+        obs = self.store.comm.communicator.world.obs
+        m = obs.metrics
+        if m.enabled:
+            m.counter(
+                "ddstore.tenant",
+                tenant=tenant,
+                qos=qos,
+                counter=counter,
+                rank=self.store.comm.world_rank,
+            ).inc(1)
+
+    def _release(self, session: TenantSession) -> None:
+        """Drop a session from the table (close() plumbing)."""
+        live = self._sessions.get(session.name)
+        if live is session:
+            del self._sessions[session.name]
+            self._count("session_closed", session.name, session.qos)
+
+    def _evict_idle(self) -> bool:
+        """Close the longest-idle session with nothing in flight."""
+        victim = None
+        for sess in self._sessions.values():
+            if not sess.idle:
+                continue
+            if victim is None or sess.lane.last_used < victim.lane.last_used:
+                victim = sess
+        if victim is None:
+            return False
+        victim.evicted = True
+        self._count("session_evicted", victim.name, victim.qos)
+        victim.close()
+        return True
+
+    # -- the public surface ---------------------------------------------
+    @property
+    def tenants(self) -> tuple[str, ...]:
+        return tuple(self._sessions)
+
+    def session(self, tenant: str) -> TenantSession:
+        return self._sessions[tenant]
+
+    def connect(
+        self,
+        tenant: Optional[str] = None,
+        qos: Optional[str] = None,
+        record_latencies: Optional[bool] = None,
+    ) -> TenantSession:
+        """Admit a tenant and hand it a session (rank-local, immediate).
+
+        ``tenant`` defaults to a generated ``tenant<N>`` name and must be
+        unique among live sessions; ``qos`` defaults to the first class
+        in ``ServingOptions.qos``.
+        """
+        if self._closed:
+            raise AdmissionError("this StoreService has been closed")
+        if self.store.closed:
+            raise AdmissionError("the underlying store has been closed")
+        opts = self.options
+        if tenant is None:
+            tenant = f"tenant{self._seq}"
+        self._seq += 1
+        if tenant in self._sessions:
+            raise ValueError(f"tenant {tenant!r} already has a live session")
+        if len(self._sessions) >= opts.max_tenants:
+            evicted = opts.admission == "evict-idle" and self._evict_idle()
+            if not evicted:
+                self._count("session_rejected", tenant, qos or opts.default_qos)
+                raise AdmissionError(
+                    f"tenant {tenant!r} rejected: all {opts.max_tenants} "
+                    f"slots taken (admission={opts.admission!r}"
+                    + (", no idle session to evict" if opts.admission == "evict-idle" else "")
+                    + ")"
+                )
+        qos = opts.default_qos if qos is None else qos
+        weight = opts.weight_of(qos)  # validates the class name
+        cache = SampleCache(
+            opts.partition_bytes(self._cache_budget(), qos),
+            policy=self.store.config.dataplane.cache_policy,
+        )
+        lane = TenantLane(
+            tenant,
+            weight,
+            self.store.comm.engine,
+            self._arbiter_for,
+            opts.max_inflight_bytes,
+            qos=qos,
+            target_share=opts.target_share(qos),
+        )
+        view = self.store.session_view(
+            tenant=tenant,
+            qos=qos,
+            cache=cache,
+            lane=lane,
+            record_latencies=record_latencies,
+        )
+        session = TenantSession(tenant, qos, view, lane, service=self)
+        self._sessions[tenant] = session
+        self._count("session_connected", tenant, qos)
+        return session
+
+    def close(self, close_store: bool = True) -> None:
+        """Close every live session (and, by default, the parent store).
+        Rank-local and idempotent; p2p-style transports still need the
+        collective ``store.shutdown()`` first, exactly as without the
+        service layer."""
+        if self._closed:
+            return
+        self._closed = True
+        for session in list(self._sessions.values()):
+            session.close()
+        if close_store:
+            self.store.close()
+
+    def __enter__(self) -> "StoreService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+
+def solo_session(store: DDStore, tenant: str = "default") -> TenantSession:
+    """Wrap a store in a single-tenant session — the facade's solo mode.
+
+    No service, no lane, no cache partition: ``session.store`` *is* the
+    raw store, so the solo path is bit-identical to pre-session code by
+    construction.  ``close()`` closes the store (the session owns it).
+    """
+    return TenantSession(tenant, "solo", store, lane=None, service=None)

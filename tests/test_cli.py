@@ -4,7 +4,7 @@ import os
 
 import pytest
 
-from repro.cli import EXPERIMENTS, main
+from repro.cli import ABLATIONS, BENCHES, EXPERIMENTS, main
 
 
 def test_list_command(capsys):
@@ -45,3 +45,52 @@ def test_experiment_registry_complete():
     # Every paper table/figure is runnable from the CLI.
     for key in ("table1", "table2", "table3") + tuple(f"fig{i}" for i in range(4, 14)):
         assert key in EXPERIMENTS
+
+
+def test_bench_and_ablation_registries_split_the_union():
+    assert set(EXPERIMENTS) == set(BENCHES) | set(ABLATIONS)
+    assert not set(BENCHES) & set(ABLATIONS)
+    assert "ablation-serving" in ABLATIONS and "ablation-serving" not in BENCHES
+
+
+def test_bench_subcommand_rejects_ablation_names(capsys):
+    # The split registries are enforced: ablations are not benches.
+    assert main(["bench", "ablation-serving"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_bench_subcommand_runs_a_table(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "tiny")
+    assert main(["bench", "table1"]) == 0
+    assert os.path.exists(tmp_path / "table1.txt")
+
+
+def test_ablation_short_names_resolve(capsys):
+    # `ablation serving` resolves to `ablation-serving` — the unknown-name
+    # path proves resolution happens before rejection.
+    assert main(["ablation", "not-an-ablation"]) == 2
+    err = capsys.readouterr().err
+    assert "ablation-serving" in err  # listed as available
+
+
+def test_run_spelling_is_deprecated_but_works(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "tiny")
+    assert main(["run", "table1"]) == 0
+    captured = capsys.readouterr()
+    assert "[deprecated]" in captured.err
+    assert "python -m repro bench" in captured.err
+
+
+def test_bench_spelling_prints_no_deprecation(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "tiny")
+    assert main(["bench", "table1"]) == 0
+    assert "[deprecated]" not in capsys.readouterr().err
+
+
+def test_ls_alias_for_list(capsys):
+    assert main(["ls"]) == 0
+    out = capsys.readouterr().out
+    assert "ablation-serving" in out

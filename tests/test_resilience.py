@@ -297,31 +297,26 @@ def test_context_manager_closes_and_rejects_reentry():
 
 
 # ---------------------------------------------------------------------------
-# nested options API + deprecation shims
+# nested options API (flat kwargs removed after their deprecation cycle)
 # ---------------------------------------------------------------------------
 
-def test_flat_kwargs_warn_and_land_in_nested_groups():
-    with pytest.warns(DeprecationWarning, match="deprecated"):
-        cfg = DDStoreConfig(
-            4, cache_bytes=1 << 10, timeout_s=1e-3, failover=False
-        )
-    assert cfg.dataplane.cache_bytes == 1 << 10
-    assert cfg.resilience.timeout_s == 1e-3
-    assert cfg.resilience.failover is False
-    # Read-only flat views stay available (and silent).
-    assert cfg.cache_bytes == 1 << 10
+def test_flat_kwargs_are_a_hard_type_error_with_migration_hint():
+    with pytest.raises(TypeError, match="were removed") as exc:
+        DDStoreConfig(4, cache_bytes=1 << 10, timeout_s=1e-3, failover=False)
+    # The error names every offending kwarg and its nested home.
+    msg = str(exc.value)
+    assert "cache_bytes -> dataplane=DataPlaneOptions(cache_bytes=...)" in msg
+    assert "timeout_s -> resilience=ResilienceOptions(timeout_s=...)" in msg
+    assert "failover -> resilience=ResilienceOptions(failover=...)" in msg
+
+
+def test_flat_kwargs_rejected_even_alongside_nested_options():
+    with pytest.raises(TypeError, match="were removed"):
+        DDStoreConfig(4, dataplane=DataPlaneOptions(coalesce=False), cache_bytes=256)
+    # Read-only flat *views* stay available on a nested-built config.
+    cfg = DDStoreConfig(4, dataplane=DataPlaneOptions(cache_bytes=256))
+    assert cfg.cache_bytes == 256
     assert cfg.framework == "mpi-rma"
-
-
-def test_flat_kwargs_merge_over_explicit_nested_options():
-    with pytest.warns(DeprecationWarning):
-        cfg = DDStoreConfig(
-            4,
-            dataplane=DataPlaneOptions(coalesce=False),
-            cache_bytes=256,
-        )
-    assert cfg.dataplane.coalesce is False  # nested value survives
-    assert cfg.dataplane.cache_bytes == 256  # flat value merged in
 
 
 def test_unknown_kwarg_is_a_type_error():
@@ -329,13 +324,10 @@ def test_unknown_kwarg_is_a_type_error():
         DDStoreConfig(4, cache_bites=1)
 
 
-def test_create_accepts_flat_kwargs_with_warning():
+def test_create_rejects_flat_kwargs():
     def main(ctx):
-        with pytest.warns(DeprecationWarning, match="deprecated"):
-            store = yield from DDStore.create(
-                ctx.comm, _source(ctx), coalesce=False
-            )
-        assert store.config.dataplane.coalesce is False
+        with pytest.raises(TypeError, match="were removed"):
+            yield from DDStore.create(ctx.comm, _source(ctx), coalesce=False)
         return True
 
     assert all(run(main).results)

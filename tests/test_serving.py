@@ -1,0 +1,456 @@
+"""Tests for the multi-tenant serving layer and the client facade.
+
+Covers the session lifecycle (double close, fetch-after-close), the
+admission controller (reject and evict-idle under pressure), DRR
+arbiter/lane mechanics (per-class pools, weight-major grants, no engine
+state on the uncontended path), and the cross-tenant isolation property:
+concurrent tenants always receive exactly their own bytes, from private
+cache partitions.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro import client
+from repro.core import (
+    DataPlaneOptions,
+    GeneratorSource,
+    ServingOptions,
+    StoreClosedError,
+)
+from repro.graphs import IsingGenerator
+from repro.hardware import TESTBOX
+from repro.mpi import run_world
+from repro.serving import AdmissionError, DrrArbiter, TenantLane, solo_session
+from repro.sim import Engine
+
+
+def run(fn, n_nodes=2, **kw):
+    return run_world(TESTBOX, n_nodes, fn, **kw)
+
+
+def _source(ctx, n=32, seed=0):
+    return GeneratorSource(IsingGenerator(n, seed=seed), ctx.world.machine)
+
+
+def _serve(ctx, serving=None, n=32, **kw):
+    return client.serve(ctx.comm, _source(ctx, n=n), serving=serving, **kw)
+
+
+# ---------------------------------------------------------------------------
+# session lifecycle
+# ---------------------------------------------------------------------------
+
+def test_solo_connect_fetches_and_owns_the_store():
+    gen = IsingGenerator(32, seed=0)
+
+    def main(ctx):
+        session = yield from client.connect(ctx.comm, _source(ctx))
+        graphs = yield from session.get_samples([3, 17])
+        ok = graphs[0].allclose(gen.make(3)) and graphs[1].allclose(gen.make(17))
+        session.close()
+        return ok, session.closed, session.store.closed
+
+    job = run(main)
+    for ok, sess_closed, store_closed in job.results:
+        assert ok
+        assert sess_closed and store_closed  # solo session owns its store
+
+
+def test_session_close_is_idempotent_and_keeps_the_store_open():
+    def main(ctx):
+        service = yield from _serve(ctx)
+        session = service.connect("a")
+        session.close()
+        session.close()  # double close: a no-op, not an error
+        return session.closed, service.store.closed, service.tenants
+
+    job = run(main)
+    for sess_closed, store_closed, tenants in job.results:
+        assert sess_closed
+        assert not store_closed  # closing a session never closes the store
+        assert tenants == ()
+
+
+def test_fetch_after_close_raises_store_closed():
+    def main(ctx):
+        service = yield from _serve(ctx)
+        session = service.connect("a")
+        session.close()
+        try:
+            yield from session.get_samples([0])
+        except StoreClosedError:
+            ok_fetch = True
+        else:
+            ok_fetch = False
+        try:
+            with session:
+                pass
+        except StoreClosedError:
+            ok_enter = True
+        else:
+            ok_enter = False
+        return ok_fetch, ok_enter
+
+    job = run(main)
+    assert all(r == (True, True) for r in job.results)
+
+
+def test_service_close_closes_every_session_and_the_store():
+    def main(ctx):
+        service = yield from _serve(ctx)
+        a, b = service.connect("a"), service.connect("b")
+        service.close()
+        return a.closed, b.closed, service.store.closed
+
+    job = run(main)
+    assert all(r == (True, True, True) for r in job.results)
+
+
+def test_tenant_names_must_be_unique_among_live_sessions():
+    def main(ctx):
+        service = yield from _serve(ctx)
+        a = service.connect("a")
+        try:
+            service.connect("a")
+        except ValueError:
+            dup_rejected = True
+        else:
+            dup_rejected = False
+        a.close()
+        reusable = service.connect("a") is not None  # freed name is reusable
+        return dup_rejected, reusable
+
+    job = run(main)
+    assert all(r == (True, True) for r in job.results)
+
+
+# ---------------------------------------------------------------------------
+# admission control
+# ---------------------------------------------------------------------------
+
+def test_admission_reject_when_full():
+    def main(ctx):
+        service = yield from _serve(ctx, ServingOptions(max_tenants=2))
+        service.connect("a")
+        service.connect("b")
+        try:
+            service.connect("c")
+        except AdmissionError as e:
+            return str(e)
+        return None
+
+    job = run(main)
+    for msg in job.results:
+        assert msg is not None and "rejected" in msg and "2" in msg
+
+
+def test_admission_evicts_the_longest_idle_session():
+    def main(ctx):
+        opts = ServingOptions(max_tenants=2, admission="evict-idle")
+        service = yield from _serve(ctx, opts)
+        a = service.connect("a")
+        yield ctx.engine.timeout(1e-3)
+        b = service.connect("b")
+        yield from b.get_samples([0], decode=False)  # b used more recently
+        c = service.connect("c")  # pressure: must evict a, the idler one
+        return (
+            a.evicted, a.closed, b.closed, c.name, tuple(sorted(service.tenants))
+        )
+
+    job = run(main)
+    for a_evicted, a_closed, b_closed, c_name, tenants in job.results:
+        assert a_evicted and a_closed
+        assert not b_closed
+        assert c_name == "c" and tenants == ("b", "c")
+
+
+def test_evict_idle_rejects_when_every_tenant_is_mid_fetch():
+    def main(ctx):
+        opts = ServingOptions(max_tenants=2, admission="evict-idle")
+        service = yield from _serve(ctx, opts)
+        a, b = service.connect("a"), service.connect("b")
+        # Mark both mid-fetch: a session with bytes in flight is not
+        # evictable, so admission has nothing to reclaim.
+        a.lane.inflight = b.lane.inflight = 1
+        try:
+            service.connect("c")
+        except AdmissionError as e:
+            return "no idle session" in str(e)
+        return False
+
+    job = run(main)
+    assert all(job.results)
+
+
+def test_unknown_qos_class_is_a_key_error():
+    def main(ctx):
+        service = yield from _serve(ctx)
+        try:
+            service.connect("a", qos="platinum")
+        except KeyError as e:
+            return "platinum" in str(e)
+        return False
+
+    job = run(main)
+    assert all(job.results)
+
+
+# ---------------------------------------------------------------------------
+# cross-tenant isolation
+# ---------------------------------------------------------------------------
+
+def test_concurrent_tenants_get_exactly_their_own_bytes():
+    n = 32
+    gen = IsingGenerator(n, seed=0)
+
+    def main(ctx):
+        service = yield from _serve(
+            ctx,
+            ServingOptions(
+                max_tenants=3,
+                qos=(("interactive", 4), ("batch", 1)),
+                drr_quantum_bytes=4 << 10,
+                target_inflight_bytes=8 << 10,
+                max_inflight_bytes=64 << 10,
+            ),
+            n=n,
+        )
+        specs = [("t0", "interactive"), ("t1", "batch"), ("t2", "batch")]
+        sessions = {name: service.connect(name, qos=qos) for name, qos in specs}
+        out = {}
+
+        def job_(name, session, seed):
+            rng = np.random.default_rng(seed)
+            got = []
+            for _ in range(4):
+                idx = rng.integers(0, n, size=6)
+                graphs = yield from session.get_samples(idx)
+                got.append((idx, graphs))
+            out[name] = got
+
+        procs = [
+            ctx.engine.process(job_(name, sessions[name], i), name=name)
+            for i, (name, _qos) in enumerate(specs)
+        ]
+        yield ctx.engine.all_of(procs)
+        ok = all(
+            g.sample_id == int(i) and g.allclose(gen.make(int(i)))
+            for got in out.values()
+            for idx, graphs in got
+            for i, g in zip(idx, graphs)
+        )
+        caches = [sessions[name].cache for name, _ in specs]
+        distinct = len({id(c) for c in caches}) == len(caches)
+        return ok, distinct
+
+    job = run(main)
+    assert all(r == (True, True) for r in job.results)
+
+
+def test_cache_partitions_are_private_and_sized_by_policy():
+    def main(ctx):
+        opts = ServingOptions(max_tenants=2, qos=(("interactive", 4), ("batch", 1)),
+                              cache_partition="weighted")
+        service = yield from _serve(
+            ctx, opts, dataplane=DataPlaneOptions(cache_bytes=1 << 20)
+        )
+        a = service.connect("a", qos="interactive")
+        b = service.connect("b", qos="batch")
+        yield from a.get_samples([0, 1], decode=False)
+        return (
+            a.cache.capacity_bytes,
+            b.cache.capacity_bytes,
+            a.cache is not b.cache,
+            len(b.cache) == 0,  # a's fetches never land in b's partition
+        )
+
+    job = run(main)
+    for cap_a, cap_b, distinct, b_empty in job.results:
+        # weighted: budget * w / (max_tenants * max_w) = 1MiB*4/8, 1MiB*1/8
+        assert cap_a == (1 << 20) * 4 // 8
+        assert cap_b == (1 << 20) * 1 // 8
+        assert distinct and b_empty
+
+
+def test_tenant_metrics_partition_the_wire_bytes():
+    def main(ctx):
+        service = yield from _serve(ctx)
+        a, b = service.connect("a"), service.connect("b")
+        yield from a.get_samples(range(8), decode=False)
+        yield from b.get_samples(range(8, 16), decode=False)
+        return a.stats.n_local + a.stats.n_remote, b.stats.n_local + b.stats.n_remote
+
+    from repro.mpi.comm import World
+    from repro.obs import Observer
+
+    world = World(TESTBOX, 2, seed=0)
+    world.attach_observer(Observer(trace=False))
+    job = run_world(TESTBOX, 2, main, seed=0, world=world)
+    assert all(r == (8, 8) for r in job.results)
+    per_tenant = world.obs.metrics.sum_by("ddstore.tenant", "tenant", "counter")
+    assert per_tenant[("a", "n_samples")] == 8 * 4  # every rank fetched 8
+    assert per_tenant[("b", "n_samples")] == 8 * 4
+    assert per_tenant[("a", "wire_bytes")] > 0
+    assert per_tenant[("b", "wire_bytes")] > 0
+
+
+# ---------------------------------------------------------------------------
+# DRR arbiter / lane mechanics (engine-level unit tests)
+# ---------------------------------------------------------------------------
+
+class _Read:
+    def __init__(self, target, nbytes):
+        self.target = target
+        self.nbytes = nbytes
+
+
+def test_uncontended_acquire_touches_no_engine_state():
+    engine = Engine()
+    arb = DrrArbiter(engine, quantum_bytes=1024)
+    # An uncontended acquire completes synchronously: the generator
+    # yields nothing, schedules nothing.
+    assert list(arb.acquire("a", 1, 512, "interactive", 1024)) == []
+    assert arb.inflight["interactive"] == 512
+    arb.release(512, "interactive")
+    assert arb.inflight["interactive"] == 0
+
+
+def test_per_class_pools_isolate_the_latency_class():
+    engine = Engine()
+    arb = DrrArbiter(engine, quantum_bytes=1024)
+    order = []
+
+    def batch(name):
+        yield from arb.acquire(name, 1, 1024, "batch", 1024)
+        order.append(name)
+
+    def interactive():
+        yield from arb.acquire("fg", 4, 512, "interactive", 1024)
+        order.append("fg")
+
+    # Saturate the batch pool, then queue one more batch tenant behind it.
+    engine.process(batch("bg0"))
+    engine.process(batch("bg1"))
+    # The interactive class has its own pool: it must be granted
+    # immediately even though the batch class is saturated and queued.
+    engine.process(interactive())
+    engine.run()
+    assert order[:2] == ["bg0", "fg"]  # fg never waits behind bg1
+    assert arb.inflight["interactive"] == 512
+
+
+def test_drr_grants_are_weight_major_within_a_class():
+    engine = Engine()
+    arb = DrrArbiter(engine, quantum_bytes=1024)
+    granted = []
+
+    def tenant(name, weight, nbytes):
+        yield from arb.acquire(name, weight, nbytes, "batch", 1024)
+        granted.append(name)
+
+    def scenario():
+        # Saturate the pool so both contenders queue, low-weight first.
+        yield from arb.acquire("hold", 1, 1024, "batch", 1024)
+        engine.process(tenant("light", 1, 512))
+        engine.process(tenant("heavy", 4, 512))
+        yield engine.timeout(1.0)
+        arb.release(1024, "batch")  # frees the pool: one pump, both fit
+
+    engine.process(scenario())
+    engine.run()
+    assert granted == ["heavy", "light"]  # weight 4 outranks weight 1
+
+
+def test_oversized_request_is_admitted_alone_not_starved():
+    engine = Engine()
+    arb = DrrArbiter(engine, quantum_bytes=64)
+    done = []
+
+    def whale():
+        yield from arb.acquire("whale", 1, 10_000, "batch", 1024)
+        done.append("whale")
+
+    engine.process(whale())
+    engine.run()
+    assert done == ["whale"]  # larger than the whole pool, still granted
+
+
+def test_lane_per_tenant_cap_queues_and_wakes():
+    engine = Engine()
+    arb = DrrArbiter(engine, quantum_bytes=1 << 20)
+    lane = TenantLane(
+        "t", 1, engine, lambda target: arb, max_inflight_bytes=1024,
+        qos="batch", target_share=None,
+    )
+    first = [_Read(0, 800)]
+    second = [_Read(0, 800)]
+    order = []
+
+    def a():
+        yield from lane.acquire(first)
+        order.append("a")
+        yield engine.timeout(1.0)
+        lane.release(first)
+
+    def b():
+        yield from lane.acquire(second)  # 800+800 > 1024: must wait for a
+        order.append("b")
+        lane.release(second)
+
+    engine.process(a())
+    engine.process(b())
+    engine.run()
+    assert order == ["a", "b"]
+    assert lane.inflight == 0
+    assert lane.queue_seconds > 0  # b's wait was accounted
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 3), st.integers(1, 4096)), min_size=1, max_size=8
+    )
+)
+@settings(max_examples=25, deadline=None)
+def test_lane_release_always_restores_arbiter_inflight(reads):
+    engine = Engine()
+    arbiters = {}
+
+    def arbiter_for(target):
+        return arbiters.setdefault(target, DrrArbiter(engine, quantum_bytes=1 << 30))
+
+    lane = TenantLane("t", 1, engine, arbiter_for, max_inflight_bytes=None,
+                      qos="batch", target_share=None)
+    planned = [_Read(t, nb) for t, nb in reads]
+
+    def go():
+        yield from lane.acquire(planned)
+        lane.release(planned)
+
+    engine.process(go())
+    engine.run()
+    assert lane.inflight == 0
+    assert all(v == 0 for arb in arbiters.values() for v in arb.inflight.values())
+
+
+def test_target_share_partitions_by_weight():
+    opts = ServingOptions(
+        qos=(("interactive", 4), ("batch", 1)), target_inflight_bytes=1000
+    )
+    assert opts.target_share("interactive") == 800
+    assert opts.target_share("batch") == 200
+    assert ServingOptions(target_inflight_bytes=None).target_share("batch") is None
+
+
+def test_solo_session_has_no_lane_and_wraps_the_raw_store():
+    def main(ctx):
+        from repro.core import DDStore
+
+        store = yield from DDStore.create(ctx.comm, _source(ctx))
+        session = solo_session(store)
+        raw = session.store is store  # the facade adds nothing in solo mode
+        graphs = yield from session.get_samples([5], decode=False)
+        return raw, session.lane is None, session.idle, len(graphs)
+
+    job = run(main)
+    assert all(r == (True, True, True, 1) for r in job.results)
