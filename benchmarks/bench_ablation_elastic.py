@@ -1,0 +1,21 @@
+"""Ablation — online elastic width retuning under a 10x straggler.
+
+A job starts at the paper-default width N (one replica, no failover
+headroom) while one rank serves 10x slow; the elastic controller reads
+the observability signals between epochs and reshards live down the
+divisor lattice.  Checks the acceptance bar: the controller converges
+within ~2 epochs to within 10% of the oracle fixed-width run, reruns are
+bit-deterministic, and every reshard appears as a fully-attributed
+pseudo-epoch in the critical-path report.
+"""
+
+from conftest import run_once
+
+from repro.bench import write_report
+from repro.bench.elastic import ablation_elastic
+
+
+def test_ablation_elastic(benchmark, profile):
+    text, data = run_once(benchmark, ablation_elastic, profile)
+    write_report("ablation_elastic", text, data)
+    assert all(data["checks"].values()), data["checks"]

@@ -28,13 +28,29 @@ Subpackages
 ``repro.serving``
     Multi-tenant serving layer: one store, N concurrent jobs behind
     per-tenant sessions with admission control and DRR fairness.
+``repro.control``
+    Online control loops: the elastic width controller that retunes
+    replication width mid-training from the observability signals.
 ``repro.client``
     The public facade: ``connect`` (solo session) / ``serve`` (service).
 
 Quick start: see ``examples/quickstart.py``.
 """
 
-from . import bench, client, core, gnn, graphs, hardware, mpi, obs, serving, sim, storage
+from . import (
+    bench,
+    client,
+    control,
+    core,
+    gnn,
+    graphs,
+    hardware,
+    mpi,
+    obs,
+    serving,
+    sim,
+    storage,
+)
 
 __version__ = "1.0.0"
 
@@ -50,5 +66,6 @@ __all__ = [
     "obs",
     "serving",
     "client",
+    "control",
     "__version__",
 ]

@@ -115,6 +115,12 @@ class ExperimentConfig:
     timeout_s: Optional[float] = None  # per-read fetch timeout (None = off)
     max_retries: int = 2
     failover: bool = True  # re-route timed-out reads to another replica
+    # online elastic width control (see repro.control / ElasticOptions)
+    elastic: bool = False  # retune width between epochs from obs signals
+    elastic_cooldown: int = 1  # epochs to hold a move before judging it
+    elastic_min_gain: float = 0.05  # relative gain a move must pay, else revert
+    elastic_stall_threshold: float = 0.10  # stall fraction that triggers a move
+    elastic_min_width: int = 1  # replication floor the controller may reach
 
     def __post_init__(self) -> None:
         if self.method not in METHODS:
@@ -138,7 +144,7 @@ class ExperimentConfig:
 
     def ddstore_config(self) -> DDStoreConfig:
         """The nested-options DDStore configuration this cell runs with."""
-        from ..core import CacheOptions
+        from ..core import CacheOptions, ElasticOptions
 
         cache = (
             CacheOptions.parse(self.tiers, policy=self.cache_policy)
@@ -148,6 +154,13 @@ class ExperimentConfig:
         return DDStoreConfig(
             self.n_ranks,
             width=self.width,
+            elastic=ElasticOptions(
+                enabled=self.elastic,
+                min_width=self.elastic_min_width,
+                cooldown_epochs=self.elastic_cooldown,
+                min_gain=self.elastic_min_gain,
+                stall_threshold=self.elastic_stall_threshold,
+            ),
             dataplane=DataPlaneOptions(
                 framework="p2p" if self.method == "ddstore-p2p" else "mpi-rma",
                 cache_bytes=self.cache_bytes,
@@ -193,6 +206,8 @@ class ExperimentResult:
     fetch_counters: dict = field(default_factory=dict)  # summed across ranks
     data_wait: float = 0.0  # mean un-overlapped load stall per rank (s)
     overlap_efficiency: float = 0.0  # hidden-load-time / total-load-time
+    epoch_seconds: list = field(default_factory=list)  # per-epoch (slowest rank)
+    control: Optional[dict] = None  # elastic controller summary (None = off)
 
     @property
     def throughput(self) -> float:
@@ -337,6 +352,7 @@ def _rank_main(ctx, cfg: ExperimentConfig, blobs: list[bytes]):
             dataplane=store_cfg.dataplane,
             resilience=store_cfg.resilience,
             serving=store_cfg.serving,
+            elastic=store_cfg.elastic,
             record_latencies=cfg.record_latencies,
         )
         store = session.store
@@ -368,6 +384,17 @@ def _rank_main(ctx, cfg: ExperimentConfig, blobs: list[bytes]):
     optimizer = AdamW(model.params(), lr=1e-3)
     trainer = Trainer(ctx, dmodel, loader, optimizer, real_compute=not cfg.stats_only)
 
+    # Elastic width control: hook the coordinator between epochs.  Off by
+    # default — when disabled the loop below is untouched (no coordinator,
+    # no extra collectives, traces bit-identical).
+    coordinator = None
+    if store is not None and cfg.elastic:
+        from ..control import ElasticCoordinator
+
+        coordinator = ElasticCoordinator(
+            ctx, session, loader, trainer=trainer, n_workers=cfg.n_workers
+        )
+
     # -- measured epochs -------------------------------------------------------
     yield from ctx.comm.barrier()
     t0 = ctx.now
@@ -376,14 +403,19 @@ def _rank_main(ctx, cfg: ExperimentConfig, blobs: list[bytes]):
     losses = []
     n_samples = 0
     data_wait = 0.0
+    epoch_seconds = []
     for epoch in range(cfg.epochs):
         report = yield from trainer.train_epoch(epoch)
         phases = phases.merged(report.phases)
         latencies.append(report.sample_latencies)
         n_samples += report.n_samples
         data_wait += report.data_wait
+        epoch_seconds.append(report.elapsed)
         if report.train_loss is not None:
             losses.append(report.train_loss)
+        if coordinator is not None:
+            yield from coordinator.after_epoch(report)
+            store = session.store  # reshard may have swapped generations
     if store is not None and cfg.method == "ddstore-p2p":
         yield from store.shutdown()
     elapsed = ctx.now - t0
@@ -395,6 +427,8 @@ def _rank_main(ctx, cfg: ExperimentConfig, blobs: list[bytes]):
         preload=preload_time,
         losses=losses,
         data_wait=data_wait,
+        epoch_seconds=epoch_seconds,
+        control=coordinator.summary() if coordinator is not None else None,
     )
 
 
@@ -475,6 +509,19 @@ def run_experiment(cfg: ExperimentConfig, observer=None) -> ExperimentResult:
         max(0.0, lt - r["data_wait"]) for lt, r in zip(load_totals, per_rank)
     )
     load_total = sum(load_totals)
+    # Per-epoch time is the slowest rank's; the controller summary is
+    # identical on every rank by construction (allreduced signals) except
+    # for the rank-local reshard wall time, reported as the max.
+    n_epochs = max(len(r["epoch_seconds"]) for r in per_rank)
+    epoch_seconds = [
+        max(r["epoch_seconds"][e] for r in per_rank) for e in range(n_epochs)
+    ]
+    control = per_rank[0].get("control")
+    if control is not None:
+        control = dict(
+            control,
+            reshard_seconds=max(r["control"]["reshard_seconds"] for r in per_rank),
+        )
     return ExperimentResult(
         config=cfg,
         elapsed=elapsed,
@@ -488,4 +535,6 @@ def run_experiment(cfg: ExperimentConfig, observer=None) -> ExperimentResult:
         fetch_counters=fetch_counters,
         data_wait=sum(r["data_wait"] for r in per_rank) / n_ranks,
         overlap_efficiency=hidden_total / load_total if load_total > 0 else 0.0,
+        epoch_seconds=epoch_seconds,
+        control=control,
     )

@@ -54,6 +54,7 @@ from .bench.ablations import (
     ablation_tiered,
     ablation_workers,
 )
+from .bench.elastic import ablation_elastic
 from .bench.serving import ablation_serving
 
 BENCHES: dict[str, tuple[Callable, str]] = {
@@ -85,6 +86,7 @@ ABLATIONS: dict[str, tuple[Callable, str]] = {
     "ablation-cache": (ablation_cache, "page-cache warm vs cold"),
     "ablation-conv": (ablation_conv_policy, "message-passing policy PNA/GIN/SAGE"),
     "resilience": (ablation_resilience, "straggler fault + retry/failover recovery"),
+    "ablation-elastic": (ablation_elastic, "online elastic width retuning under a straggler"),
 }
 
 # The union both the deprecated `run` spelling and `list` operate on.

@@ -32,7 +32,12 @@ from __future__ import annotations
 
 from typing import Generator, Optional
 
-from .core.config import DataPlaneOptions, ResilienceOptions, ServingOptions
+from .core.config import (
+    DataPlaneOptions,
+    ElasticOptions,
+    ResilienceOptions,
+    ServingOptions,
+)
 from .core.store import DDStore
 from .serving import StoreService, TenantSession, solo_session
 
@@ -47,6 +52,7 @@ def connect(
     dataplane: Optional[DataPlaneOptions] = None,
     resilience: Optional[ResilienceOptions] = None,
     serving: Optional[ServingOptions] = None,
+    elastic: Optional[ElasticOptions] = None,
     tenant: str = "default",
     record_latencies: bool = False,
 ) -> Generator:
@@ -63,6 +69,7 @@ def connect(
         dataplane=dataplane,
         resilience=resilience,
         serving=serving,
+        elastic=elastic,
         record_latencies=record_latencies,
     )
     return solo_session(store, tenant=tenant)
@@ -76,6 +83,7 @@ def serve(
     dataplane: Optional[DataPlaneOptions] = None,
     resilience: Optional[ResilienceOptions] = None,
     serving: Optional[ServingOptions] = None,
+    elastic: Optional[ElasticOptions] = None,
     record_latencies: bool = False,
 ) -> Generator:
     """Collectively build a store and return a :class:`StoreService`.
@@ -90,6 +98,7 @@ def serve(
         dataplane=dataplane,
         resilience=resilience,
         serving=serving,
+        elastic=elastic,
         record_latencies=record_latencies,
     )
     return StoreService(store)

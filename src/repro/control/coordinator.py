@@ -1,0 +1,225 @@
+"""The elastic actuator: drain → reshard → repoint, between epochs.
+
+:class:`ElasticCoordinator` sits in the training loop's seam between
+epochs.  After each epoch it (1) reduces the per-rank health signals so
+every rank holds identical numbers, (2) asks the
+:class:`~.controller.ElasticWidthController` for a verdict, and (3) when
+the verdict is a new width, actuates it live:
+
+* drains the trainer's prefetch pipeline (no batch load may race the
+  old store's teardown),
+* drives the bulk memory-to-memory reshard — through
+  :meth:`~repro.serving.StoreService.reshard` when a serving layer owns
+  the store (which also quiesces and migrates every tenant session), or
+  directly through :meth:`~repro.core.DDStore.reshard` for a solo
+  session,
+* repoints the session and the loader's dataset at the new generation.
+
+Observability contract: a reshard emits a ``reshard`` span under *both*
+``trainer.epoch`` and ``trainer.stage`` over the identical interval, so
+the critical-path analyzer sees the reshard as a fully-attributed
+pseudo-epoch (residual exactly zero) instead of unaccounted dead time
+between epochs.  Nothing is emitted when no reshard runs, so disabled
+elastic leaves traces bit-identical.
+
+Everything here is a collective: call :meth:`after_epoch` on every rank,
+every epoch, in the same order.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+import numpy as np
+
+from .controller import ElasticWidthController, EpochSignals
+
+__all__ = ["ElasticCoordinator"]
+
+# FetchStats counters reduced with op="sum" into EpochSignals, in order.
+_FAULT_COUNTERS = ("n_timeouts", "n_retries", "n_failovers")
+
+
+class ElasticCoordinator:
+    """One rank's elastic control loop; construct identically everywhere.
+
+    Parameters
+    ----------
+    ctx : RankContext
+        This rank's simulated-process context (engine, comm, obs).
+    session : TenantSession
+        The session whose store the training job reads — a solo session
+        or one connected through a :class:`~repro.serving.StoreService`.
+    loader : DataLoader
+        The loader feeding the trainer; its dataset is repointed at the
+        new store after each reshard.
+    trainer : Trainer, optional
+        When given, its live prefetch pipeline is drained before the
+        width change (the reshard fence).
+    service : StoreService, optional
+        When the store is serving multiple tenants, reshard through the
+        service so every other tenant's session migrates atomically too.
+    n_workers : int
+        Parallel bulk-read streams for the memory-to-memory shuffle.
+    """
+
+    def __init__(
+        self,
+        ctx,
+        session,
+        loader,
+        *,
+        trainer=None,
+        service=None,
+        options=None,
+        n_workers: int = 1,
+    ) -> None:
+        self.ctx = ctx
+        self.session = session
+        self.loader = loader
+        self.trainer = trainer
+        self.service = service
+        self.n_workers = n_workers
+        store = session.store
+        self.options = options if options is not None else store.config.elastic
+        self.controller = ElasticWidthController(
+            self.options, ctx.size, store.width
+        )
+        self._fault_base = {
+            name: getattr(store.stats, name) for name in _FAULT_COUNTERS
+        }
+        self.reshards = 0
+        self.reshard_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def enabled(self) -> bool:
+        return self.options.enabled
+
+    @property
+    def width(self) -> int:
+        return self.session.store.width
+
+    # ------------------------------------------------------------------
+    def _local_faults(self) -> list[float]:
+        """Per-rank fault-counter deltas since the previous epoch.
+
+        Deltas, not totals: stats are cumulative and (by design) carried
+        across reshard generations, so the controller must see only this
+        epoch's increments.
+        """
+        stats = self.session.store.stats
+        out = []
+        for name in _FAULT_COUNTERS:
+            cur = getattr(stats, name)
+            out.append(float(cur - self._fault_base[name]))
+            self._fault_base[name] = cur
+        return out
+
+    def _reduce_signals(self, report) -> Generator:
+        """Allreduce one epoch's health so all ranks decide identically."""
+        comm = self.ctx.comm
+        lat = np.asarray(report.sample_latencies, dtype=np.float64)
+        p99 = float(np.percentile(lat, 99)) if lat.size else 0.0
+        # Times: max over ranks (the slowest rank IS the epoch).  Overlap
+        # efficiency: min over ranks, encoded as max of the negation so
+        # one reduction covers all four.
+        maxvec = np.array(
+            [report.elapsed, report.data_wait, p99, -report.overlap_efficiency],
+            dtype=np.float64,
+        )
+        maxred = yield from comm.allreduce(maxvec, op="max")
+        sumvec = np.array(self._local_faults(), dtype=np.float64)
+        sumred = yield from comm.allreduce(sumvec, op="sum")
+        return EpochSignals(
+            epoch_seconds=float(maxred[0]),
+            data_wait_seconds=float(maxred[1]),
+            fetch_p99=float(maxred[2]),
+            overlap_efficiency=-float(maxred[3]),
+            n_timeouts=int(sumred[0]),
+            n_retries=int(sumred[1]),
+            n_failovers=int(sumred[2]),
+        )
+
+    # ------------------------------------------------------------------
+    def after_epoch(self, report) -> Generator:
+        """Controller hook: call between epochs on every rank (collective).
+
+        Returns the new width when a reshard ran, else None.
+        """
+        if not self.enabled:
+            return None
+        signals = yield from self._reduce_signals(report)
+        target = self.controller.observe(signals)
+        if target is None or target == self.width:
+            return None
+        yield from self._actuate(target)
+        return target
+
+    def _actuate(self, width: int) -> Generator:
+        engine = self.ctx.engine
+        obs = self.ctx.world.obs
+        track = self.ctx.rank
+        t0 = engine.now
+        if self.trainer is not None:
+            yield from self.trainer.drain_pipeline()
+        if self.service is not None:
+            yield from self.service.reshard(width=width, n_workers=self.n_workers)
+            # service.migrate() already repointed self.session.store
+        else:
+            old = self.session.store
+            new_store = yield from old.reshard(
+                width=width, n_workers=self.n_workers
+            )
+            self.session.store = new_store
+        store = self.session.store
+        dataset = getattr(self.loader, "dataset", None)
+        if dataset is not None and hasattr(dataset, "store"):
+            dataset.store = store
+        self.reshards += 1
+        self.reshard_seconds += engine.now - t0
+        # Paired spans: the reshard is its own pseudo-epoch, exactly tiled
+        # by one stage span, so the critical-path invariant holds with
+        # zero residual and the reshard cost is fully accounted.
+        if obs.tracing and engine.now > t0:
+            for cat in ("trainer.epoch", "trainer.stage"):
+                obs.tracer.record(
+                    "reshard",
+                    cat=cat,
+                    track=track,
+                    lane=0,
+                    start=t0,
+                    end=engine.now,
+                    width=width,
+                    generation=store.generation,
+                )
+        m = obs.metrics
+        if m.enabled:
+            m.counter("control.reshards", rank=track).inc(1)
+            m.counter("control.reshard_seconds", rank=track).inc(
+                engine.now - t0
+            )
+            m.gauge("control.width", rank=track).set(float(width))
+
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        """Rank-local trajectory report for the bench/CLI layer."""
+        return {
+            "enabled": self.enabled,
+            "final_width": self.width,
+            "reshards": self.reshards,
+            "reshard_seconds": self.reshard_seconds,
+            "trajectory": self.controller.trajectory(),
+            "decisions": [
+                {
+                    "epoch": d.epoch,
+                    "width_before": d.width_before,
+                    "width_after": d.width_after,
+                    "action": d.action,
+                    "reason": d.reason,
+                    "stall_fraction": d.stall_fraction,
+                    "epoch_seconds": d.epoch_seconds,
+                }
+                for d in self.controller.decisions
+            ],
+        }

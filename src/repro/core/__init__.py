@@ -5,6 +5,7 @@ from .config import (
     CacheOptions,
     DataPlaneOptions,
     DDStoreConfig,
+    ElasticOptions,
     FRAMEWORKS,
     ResilienceOptions,
     ServingOptions,
@@ -31,6 +32,7 @@ __all__ = [
     "TierSpec",
     "ResilienceOptions",
     "ServingOptions",
+    "ElasticOptions",
     "StoreClosedError",
     "FRAMEWORKS",
     "FETCH_STAGES",

@@ -43,6 +43,7 @@ __all__ = [
     "DataPlaneOptions",
     "ResilienceOptions",
     "ServingOptions",
+    "ElasticOptions",
     "DDStoreConfig",
     "FRAMEWORKS",
     "TIER_KINDS",
@@ -475,6 +476,59 @@ class ServingOptions:
         )
 
 
+@dataclass(frozen=True)
+class ElasticOptions:
+    """Online width retuning: close the loop between obs and reshard.
+
+    With ``enabled=True`` the :class:`repro.control.ElasticWidthController`
+    reads the metrics registry between epochs (fetch stall fraction,
+    retry/failover pressure, tier stalls, overlap efficiency), decides a
+    new replication width via a hysteresis policy, and live-reshards the
+    store over the bulk memory-to-memory path — no restart.  All knobs
+    are consumed by the controller only; a store never reads them on the
+    fetch path, so the defaults cannot perturb existing runs.
+
+    * ``min_width`` / ``max_width`` — clamp the candidate widths (both
+      must divide ``n_ranks``; ``max_width=None`` means ``n_ranks``),
+    * ``cooldown_epochs`` — epochs to hold a new width before judging it
+      (hysteresis: a move is only kept if it helped),
+    * ``min_gain`` — fractional epoch-time improvement a move must show
+      after the cooldown to be kept; otherwise the controller reverts and
+      blacklists the move (guarantees convergence),
+    * ``stall_threshold`` — fraction of epoch time spent in unhidden data
+      wait above which the controller considers the store fetch-bound and
+      steps toward more replication (smaller width).
+    """
+
+    enabled: bool = False
+    min_width: int = 1
+    max_width: Optional[int] = None
+    cooldown_epochs: int = 1
+    min_gain: float = 0.05
+    stall_threshold: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.min_width < 1:
+            raise ValueError(f"min_width must be >= 1, got {self.min_width}")
+        if self.max_width is not None and self.max_width < self.min_width:
+            raise ValueError(
+                f"max_width {self.max_width} must be >= min_width "
+                f"{self.min_width}"
+            )
+        if self.cooldown_epochs < 1:
+            raise ValueError(
+                f"cooldown_epochs must be >= 1, got {self.cooldown_epochs}"
+            )
+        if not 0.0 <= self.min_gain < 1.0:
+            raise ValueError(
+                f"min_gain must be in [0, 1), got {self.min_gain}"
+            )
+        if not 0.0 <= self.stall_threshold <= 1.0:
+            raise ValueError(
+                f"stall_threshold must be in [0, 1], got {self.stall_threshold}"
+            )
+
+
 @dataclass(frozen=True, init=False)
 class DDStoreConfig:
     """Validated DDStore parameters for a given job size.
@@ -492,6 +546,7 @@ class DDStoreConfig:
     dataplane: DataPlaneOptions = field(default_factory=DataPlaneOptions)
     resilience: ResilienceOptions = field(default_factory=ResilienceOptions)
     serving: ServingOptions = field(default_factory=ServingOptions)
+    elastic: ElasticOptions = field(default_factory=ElasticOptions)
 
     def __init__(
         self,
@@ -500,6 +555,7 @@ class DDStoreConfig:
         dataplane: Optional[DataPlaneOptions] = None,
         resilience: Optional[ResilienceOptions] = None,
         serving: Optional[ServingOptions] = None,
+        elastic: Optional[ElasticOptions] = None,
         **flat,
     ) -> None:
         unknown = [k for k in flat if k not in _FLAT_DATAPLANE + _FLAT_RESILIENCE]
@@ -526,6 +582,7 @@ class DDStoreConfig:
         object.__setattr__(self, "dataplane", dataplane or DataPlaneOptions())
         object.__setattr__(self, "resilience", resilience or ResilienceOptions())
         object.__setattr__(self, "serving", serving or ServingOptions())
+        object.__setattr__(self, "elastic", elastic or ElasticOptions())
         self._validate()
 
     def _validate(self) -> None:
@@ -554,6 +611,23 @@ class DDStoreConfig:
             raise TypeError(
                 f"serving must be ServingOptions, got {type(self.serving)!r}"
             )
+        if not isinstance(self.elastic, ElasticOptions):
+            raise TypeError(
+                f"elastic must be ElasticOptions, got {type(self.elastic)!r}"
+            )
+        if self.elastic.enabled:
+            e = self.elastic
+            hi = e.max_width if e.max_width is not None else self.n_ranks
+            candidates = [
+                d
+                for d in range(1, self.n_ranks + 1)
+                if self.n_ranks % d == 0 and e.min_width <= d <= hi
+            ]
+            if not candidates:
+                raise ValueError(
+                    f"ElasticOptions [min_width={e.min_width}, max_width={hi}] "
+                    f"admits no divisor of n_ranks={self.n_ranks}"
+                )
         # failover=True with a single replica degrades to plain retry:
         # "width permitting" is part of the ResilienceOptions contract.
 

@@ -52,7 +52,13 @@ from ..graphs import SAMPLE_ALLOCATIONS, AtomicGraph, BatchArena
 from ..mpi import Comm
 from ..storage import SampleStats, decode_time, peek_header, scatter_time, unpack_graph
 from .chunking import ChunkLayout
-from .config import DataPlaneOptions, DDStoreConfig, ResilienceOptions, ServingOptions
+from .config import (
+    DataPlaneOptions,
+    DDStoreConfig,
+    ElasticOptions,
+    ResilienceOptions,
+    ServingOptions,
+)
 from .preloader import DataSource
 from .registry import ChunkRegistry, ShapeTable
 
@@ -146,6 +152,24 @@ class FetchStats:
     def latency_array(self) -> np.ndarray:
         return np.asarray(self.latencies, dtype=np.float64)
 
+    def merge_from(self, other: "FetchStats") -> None:
+        """Fold another handle's cumulative accounting into this one.
+
+        The reshard stats-continuity path: a new-generation store starts
+        from the old generation's totals, so bench roll-ups and monotone
+        cumulative counters survive a width change (the same discipline as
+        the delta-accumulated cache counters).
+        """
+        for name, val in other.counters().items():
+            setattr(self, name, getattr(self, name) + val)
+        self.fetch_time += other.fetch_time
+        self.decode_time += other.decode_time
+        self.latencies.extend(other.latencies)
+        for stage, seconds in other.stage_seconds.items():
+            self.add_stage(stage, seconds)
+        for stage, seconds in other.prefetch_stage_seconds.items():
+            self.add_prefetch_stage(stage, seconds)
+
 
 class DDStore:
     """Per-rank handle on the distributed store.
@@ -200,6 +224,13 @@ class DDStore:
         # resetting ``store.stats`` mid-run cannot resurrect old cache hits.
         self._cache_base = self.cache.stats.as_dict()
         self._closed = False
+        # Reshard lineage: 0 for a freshly created store, +1 per reshard.
+        # Session views inherit it; metric series carry it as a label so
+        # roll-ups can attribute work to the width regime that did it.
+        self.generation = 0
+        # How many collective shutdowns this handle has run — reshard
+        # asserts the teardown collective happened exactly once.
+        self._shutdown_collectives = 0
         # Multi-tenant serving hooks: a plain store has no lane and no
         # tenant identity, which keeps the whole serving layer off the
         # single-job fetch path (bit-identical defaults).  Session views
@@ -279,6 +310,7 @@ class DDStore:
         dataplane: Optional[DataPlaneOptions] = None,
         resilience: Optional[ResilienceOptions] = None,
         serving: Optional[ServingOptions] = None,
+        elastic: Optional[ElasticOptions] = None,
         record_latencies: bool = False,
         **flat,
     ) -> Generator:
@@ -301,6 +333,7 @@ class DDStore:
             dataplane=dataplane,
             resilience=resilience,
             serving=serving,
+            elastic=elastic,
             **flat,
         )
         group_comm = yield from comm.split(
@@ -784,10 +817,18 @@ class DDStore:
                 ("n_failovers", d_failovers),
             ):
                 if val:
-                    m.counter("ddstore.fetch", counter=cname, rank=track).inc(val)
+                    m.counter(
+                        "ddstore.fetch",
+                        counter=cname,
+                        rank=track,
+                        generation=self.generation,
+                    ).inc(val)
             for stage, seconds in call_stages.items():
                 m.counter(
-                    "ddstore.stage_seconds", stage=stage, rank=track
+                    "ddstore.stage_seconds",
+                    stage=stage,
+                    rank=track,
+                    generation=self.generation,
                 ).inc(seconds)
             self._publish_tier_metrics(m, track)
             self._publish_tenant(
@@ -1121,10 +1162,18 @@ class DDStore:
                 ("n_failovers", d_failovers),
             ):
                 if val:
-                    m.counter("ddstore.fetch", counter=cname, rank=track).inc(val)
+                    m.counter(
+                        "ddstore.fetch",
+                        counter=cname,
+                        rank=track,
+                        generation=self.generation,
+                    ).inc(val)
             for stage, seconds in call_stages.items():
                 m.counter(
-                    "ddstore.stage_seconds", stage=stage, rank=track
+                    "ddstore.stage_seconds",
+                    stage=stage,
+                    rank=track,
+                    generation=self.generation,
                 ).inc(seconds)
             self._publish_tier_metrics(m, track)
             self._publish_tenant(
@@ -1298,7 +1347,12 @@ class DDStore:
                 ("n_failovers", d_failovers),
             ):
                 if val:
-                    m.counter("ddstore.prefetch", counter=cname, rank=track).inc(val)
+                    m.counter(
+                        "ddstore.prefetch",
+                        counter=cname,
+                        rank=track,
+                        generation=self.generation,
+                    ).inc(val)
             self._publish_tier_metrics(m, track)
             self._publish_tenant(
                 m,
@@ -1559,9 +1613,18 @@ class DDStore:
         All ranks must call this together (it barriers).  The handle is
         closed afterwards: further ``get_samples`` calls raise
         :class:`StoreClosedError`.
+
+        Single-shot: a second call on an already-closed handle returns
+        without communicating.  Re-running the teardown collective would
+        send a second shutdown sentinel into a p2p responder that already
+        exited (and barrier against ranks that are long gone) — the exact
+        failure the old reshard double-close used to mask.
         """
+        if self._closed:
+            return
         yield from self.transport.shutdown()
         yield from self.comm.barrier()
+        self._shutdown_collectives += 1
         self.close()
 
     def close(self) -> None:
@@ -1596,6 +1659,7 @@ class DDStore:
         width: Optional[int] = None,
         close_old: bool = True,
         n_workers: int = 1,
+        carry_stats: bool = True,
     ) -> Generator:
         """Collectively rebuild the store with a new width — in memory.
 
@@ -1608,7 +1672,12 @@ class DDStore:
         and data plane are rebuilt.  ``n_workers`` spreads the bulk reads
         over that many wire streams (loaders pass their configured worker
         count through so reshard parallelism matches fetch parallelism).
-        Returns the new :class:`DDStore`.
+
+        The new store is generation ``old + 1`` and — with ``carry_stats``
+        (the default) — starts from the old handle's cumulative
+        :class:`FetchStats`, so fetch/cache counters stay monotone across
+        the width change instead of silently resetting.  Returns the new
+        :class:`DDStore`.
         """
         source = _StoreSource(self, n_workers=n_workers)
         new_store = yield from DDStore.create(
@@ -1618,11 +1687,22 @@ class DDStore:
             dataplane=self.config.dataplane,
             resilience=self.config.resilience,
             serving=self.config.serving,
+            elastic=self.config.elastic,
             record_latencies=self.record_latencies,
         )
+        new_store.generation = self.generation + 1
+        if carry_stats:
+            new_store.stats.merge_from(self.stats)
         if close_old:
+            before = self._shutdown_collectives
             yield from self.shutdown()
-            self.close()
+            after = self._shutdown_collectives
+            if after - before != 1 or not self._closed:
+                raise RuntimeError(
+                    f"reshard teardown ran {after - before} shutdown "
+                    "collective(s); expected exactly one (was the old store "
+                    "already closed underneath the reshard?)"
+                )
         return new_store
 
 
@@ -1647,13 +1727,24 @@ class _StoreSource:
 
         indices = list(indices)
         store = self.store
-        contiguous = bool(indices) and indices == list(
+        # An empty chunk is trivially contiguous: it must not fall into the
+        # per-sample path (which would pay a get_samples round for nothing)
+        # — the bulk path below yields the same empty PreloadResult free.
+        contiguous = not indices or indices == list(
             range(indices[0], indices[-1] + 1)
         )
+        if not indices:
+            return PreloadResult(
+                buffer=np.zeros(0, dtype=np.uint8),
+                sizes=np.zeros(0, dtype=np.int64),
+            )
         if not contiguous or not store.transport.supports_coalescing:
             blobs = yield from store.get_samples(
                 indices, decode="raw", n_workers=self.n_workers
             )
+            # b.size (elements == bytes for uint8) keeps zero-size samples
+            # in the size table — they occupy registry slots even though
+            # they contribute no buffer bytes.
             sizes = np.fromiter((b.size for b in blobs), dtype=np.int64, count=len(blobs))
             buffer = np.concatenate(blobs) if blobs else np.zeros(0, dtype=np.uint8)
             return PreloadResult(buffer=buffer, sizes=sizes)
@@ -1678,7 +1769,12 @@ class _StoreSource:
         remote_owners = []
         remote_reads = []
         for owner, off, nb in requests:
-            if owner == me:
+            if nb == 0:
+                # An overlapped span of all-zero-size samples moves no
+                # bytes: satisfy it locally instead of spending a wire
+                # read (and, under faults, a retry ladder) on nothing.
+                local_parts.append((owner, np.zeros(0, dtype=np.uint8)))
+            elif owner == me:
                 local_parts.append(
                     (owner, store.transport.local_buffer()[off : off + nb].copy())
                 )

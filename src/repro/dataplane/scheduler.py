@@ -246,6 +246,26 @@ class EpochScheduler:
         self._events[step] = None  # release the retired Process
         self._top_up(step)
 
+    def drain(self) -> Generator:
+        """Await every in-flight launch so the pipeline goes quiet.
+
+        The reshard fence: a mid-epoch width change must not leave batch
+        loads (or wave fetches) racing a store teardown, so the elastic
+        coordinator drains the window before the memory-to-memory shuffle.
+        Retired slots are untouched and the window state stays valid —
+        after the drain the normal ``event``/``advance`` protocol resumes
+        (loads already completed resolve instantly; unlaunched batches
+        launch on demand against whatever store the loader then points
+        at).  Returns the number of events awaited.
+        """
+        pending = [e for e in self._events if e is not None]
+        pending.extend(
+            p for p in self._wave_procs.values() if p is not None
+        )
+        for proc in pending:
+            yield proc
+        return len(pending)
+
     def finish(self) -> None:
         """Emit end-of-epoch scheduler metrics (no-op when unobserved)."""
         if self.obs is None or not self.obs.metrics.enabled or not self._launched:

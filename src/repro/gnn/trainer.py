@@ -114,6 +114,10 @@ class Trainer:
         self._hidden = cfg.hidden_dim
         self._n_conv = cfg.n_conv_layers
         self._n_fc = cfg.n_fc_layers
+        # Live prefetch pipeline of the epoch currently running (None
+        # between epochs).  The elastic coordinator drains it before a
+        # mid-training reshard so no batch load races the store teardown.
+        self._sched: Optional[EpochScheduler] = None
 
     # ------------------------------------------------------------------
     def _workload(self, batch) -> GnnWorkload:
@@ -163,6 +167,7 @@ class Trainer:
         sched = EpochScheduler(
             self.loader, batches, engine=engine, obs=obs, track=track
         )
+        self._sched = sched
         sched.start()
         data_wait_s = 0.0
         load_total_s = 0.0
@@ -228,6 +233,7 @@ class Trainer:
 
         elapsed = engine.now - t_epoch
         sched.finish()
+        self._sched = None
         # Overlap efficiency: how much of the loading pipeline's own time
         # the compute phases hid.  ``data_wait`` is the honest stall (the
         # pipeline-fill load of batch 0 is inherently exposed).
@@ -277,6 +283,19 @@ class Trainer:
             data_wait=data_wait_s,
             overlap_efficiency=overlap_eff,
         )
+
+    def drain_pipeline(self) -> Generator:
+        """Await the live prefetch window (reshard fence; collective-free).
+
+        Returns the number of in-flight loads awaited; 0 when no epoch is
+        running.  The scheduler's window bookkeeping stays valid, so a
+        paused epoch resumes its normal ``event``/``advance`` protocol
+        afterwards — against whatever store the loader then points at.
+        """
+        if self._sched is None:
+            return 0
+        n = yield from self._sched.drain()
+        return n
 
     def evaluate(self, indices: np.ndarray, batch_size: Optional[int] = None) -> Generator:
         """Forward-only loss over ``indices`` (no parameter updates).

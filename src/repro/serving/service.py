@@ -51,6 +51,10 @@ from .drr import DrrArbiter, TenantLane
 
 __all__ = ["AdmissionError", "StoreService", "TenantSession", "solo_session"]
 
+# Virtual-seconds between quiesce polls while waiting for tenants' wire
+# traffic to drain ahead of a reshard.  Deterministic under the sim clock.
+_QUIESCE_POLL_S = 1e-5
+
 
 class AdmissionError(RuntimeError):
     """connect() found no free tenant slot (and could not evict one)."""
@@ -311,6 +315,79 @@ class StoreService:
         self._sessions[tenant] = session
         self._count("session_connected", tenant, qos)
         return session
+
+    def quiesce(self) -> Generator:
+        """Wait (virtual time) until no live session has wire bytes in
+        flight.  Rank-local; the reshard path barriers afterwards so every
+        rank enters the collective shuffle with a quiet data plane."""
+        engine = self.store.comm.engine
+        waited = 0.0
+        while any(not s.idle for s in self._sessions.values()):
+            yield engine.timeout(_QUIESCE_POLL_S)
+            waited += _QUIESCE_POLL_S
+        return waited
+
+    def reshard(
+        self,
+        width: Optional[int] = None,
+        n_workers: int = 1,
+    ) -> Generator:
+        """Collectively reshard the served store and migrate every session.
+
+        The live-session reshard protocol (all ranks call this together):
+
+        1. **quiesce** — rank-locally wait until every tenant's lane has
+           zero wire bytes in flight, then barrier so no rank starts the
+           shuffle while another rank's tenants still hold DRR grants,
+        2. **reshard** — the usual collective memory-to-memory shuffle
+           (:meth:`DDStore.reshard`, which closes the old store once), and
+        3. **migrate** — atomically re-point every live session at a
+           ``session_view`` of the new store.
+
+        Without step 3 every session view would keep pointing at the
+        closed old store — its next fetch dies with
+        :class:`~repro.core.StoreClosedError` on the RMA plane or hangs
+        against the exited p2p responder.  Migration preserves each
+        tenant's cumulative :class:`~repro.core.FetchStats`, its cache
+        partition (same object — entries survive, sample ids are
+        width-independent), and its DRR lane state (deficits, weights,
+        in-flight accounting).  Returns the new store.
+        """
+        if self._closed:
+            raise ValueError("cannot reshard a closed StoreService")
+        yield from self.quiesce()
+        yield from self.store.comm.barrier()
+        new_store = yield from self.store.reshard(
+            width=width, n_workers=n_workers, close_old=True
+        )
+        self.migrate(new_store)
+        return new_store
+
+    def migrate(self, new_store: DDStore) -> None:
+        """Rank-local: move every live session onto views of ``new_store``.
+
+        Continuity contract: a tenant keeps its :class:`FetchStats`
+        object, its cache partition with all cached payloads, its lane
+        (so DRR deficits and QoS accounting carry over), and its
+        delta-accumulation snapshots — cumulative counters stay monotone
+        across the reshard generation.
+        """
+        for session in self._sessions.values():
+            old_view = session.store
+            view = new_store.session_view(
+                tenant=session.name,
+                qos=session.qos,
+                cache=old_view.cache,
+                lane=session.lane,
+                record_latencies=old_view.record_latencies,
+            )
+            view.stats = old_view.stats
+            view._cache_base = old_view._cache_base
+            view._tier_base = old_view._tier_base
+            session.store = view
+            old_view.close()
+            self._count("session_migrated", session.name, session.qos)
+        self.store = new_store
 
     def close(self, close_store: bool = True) -> None:
         """Close every live session (and, by default, the parent store).

@@ -1,0 +1,301 @@
+"""Tests for the elastic width controller, coordinator, and reshard fence.
+
+The policy layer (:class:`ElasticWidthController`) is pure bookkeeping and
+is unit-tested directly with synthetic signals; the actuator
+(:class:`ElasticCoordinator`) and the scheduler drain fence run inside
+the simulated world.  Reshard-under-faults and the byte-identity property
+live with the other reshard tests in ``test_nvme_and_reshard.py``.
+"""
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro import client
+from repro.control import Decision, ElasticCoordinator, ElasticWidthController, EpochSignals
+from repro.core import (
+    DataLoader,
+    DataPlaneOptions,
+    DDStore,
+    ElasticOptions,
+    GeneratorSource,
+)
+from repro.graphs import IsingGenerator
+from repro.hardware import TESTBOX
+from repro.mpi import run_world
+
+
+def run(fn, n_nodes=2, **kw):
+    return run_world(TESTBOX, n_nodes, fn, **kw)
+
+
+def _source(ctx, n=32, seed=0):
+    return GeneratorSource(IsingGenerator(n, seed=seed), ctx.world.machine)
+
+
+def _sig(epoch_s=1.0, wait_s=0.0, timeouts=0, overlap=1.0):
+    return EpochSignals(
+        epoch_seconds=epoch_s,
+        data_wait_seconds=wait_s,
+        overlap_efficiency=overlap,
+        n_timeouts=timeouts,
+        n_retries=timeouts,
+        n_failovers=0,
+    )
+
+
+# ---------------------------------------------------------------------------
+# ElasticOptions validation
+# ---------------------------------------------------------------------------
+
+def test_elastic_options_validate():
+    with pytest.raises(ValueError):
+        ElasticOptions(min_width=0)
+    with pytest.raises(ValueError):
+        ElasticOptions(min_width=4, max_width=2)
+    with pytest.raises(ValueError):
+        ElasticOptions(cooldown_epochs=0)
+    with pytest.raises(ValueError):
+        ElasticOptions(min_gain=1.0)
+    with pytest.raises(ValueError):
+        ElasticOptions(stall_threshold=1.5)
+
+
+def test_config_rejects_empty_candidate_lattice():
+    from repro.core import DDStoreConfig
+
+    with pytest.raises(ValueError, match="no divisor"):
+        DDStoreConfig(
+            4, elastic=ElasticOptions(enabled=True, min_width=3, max_width=3)
+        )
+    # Disabled elastic skips the lattice check entirely.
+    DDStoreConfig(4, elastic=ElasticOptions(enabled=False, min_width=3, max_width=3))
+
+
+# ---------------------------------------------------------------------------
+# the policy, unit-tested with synthetic signals
+# ---------------------------------------------------------------------------
+
+def _ctl(n_ranks=8, width=8, **opts):
+    defaults = dict(enabled=True, cooldown_epochs=1, min_gain=0.05, stall_threshold=0.10)
+    defaults.update(opts)
+    return ElasticWidthController(ElasticOptions(**defaults), n_ranks, width)
+
+
+def test_candidates_are_the_divisor_lattice():
+    assert _ctl(8, 8).candidates == [1, 2, 4, 8]
+    assert _ctl(8, 8, min_width=2).candidates == [2, 4, 8]
+    assert _ctl(8, 8, max_width=4).candidates == [1, 2, 4]
+    with pytest.raises(ValueError):
+        ElasticWidthController(ElasticOptions(enabled=True), 8, 3)  # 3 ∤ 8
+
+
+def test_healthy_signals_hold_width():
+    ctl = _ctl()
+    assert ctl.observe(_sig()) is None
+    assert ctl.width == 8
+    assert ctl.decisions[-1].action == "hold"
+    assert ctl.converged
+
+
+def test_pressure_steps_one_divisor_down():
+    ctl = _ctl()
+    assert ctl.observe(_sig(timeouts=5)) == 4
+    assert ctl.width == 4
+    assert ctl.decisions[-1].action == "narrow"
+
+
+def test_stall_fraction_above_threshold_is_pressure():
+    ctl = _ctl()
+    assert ctl.observe(_sig(epoch_s=1.0, wait_s=0.2)) == 4  # 20% > 10%
+    ctl2 = _ctl()
+    assert ctl2.observe(_sig(epoch_s=1.0, wait_s=0.05)) is None  # 5% < 10%
+
+
+def test_cooldown_holds_before_judging():
+    ctl = _ctl(cooldown_epochs=2)
+    assert ctl.observe(_sig(timeouts=5)) == 4
+    assert ctl.observe(_sig(epoch_s=0.5)) is None  # cooldown epoch 1 of 2
+    assert ctl.decisions[-1].action == "hold"
+    assert not ctl.converged  # a move is still pending judgement
+    assert ctl.observe(_sig(epoch_s=0.5)) is None  # judged: kept (50% gain)
+    assert ctl.decisions[-1].action == "keep"
+    assert ctl.width == 4
+
+
+def test_insufficient_gain_reverts_and_blacklists():
+    ctl = _ctl()
+    assert ctl.observe(_sig(epoch_s=1.0, timeouts=5)) == 4
+    # The move bought only 2% — below min_gain: revert to 8.
+    assert ctl.observe(_sig(epoch_s=0.98, timeouts=5)) == 8
+    assert ctl.width == 8
+    assert ctl.decisions[-1].action == "revert"
+    # Same pressure again: the (8 -> 4) edge is burned, never retried.
+    assert ctl.observe(_sig(epoch_s=1.0, timeouts=5)) is None
+    assert ctl.decisions[-1].action == "hold"
+
+
+def test_accepted_move_can_keep_climbing_same_epoch():
+    ctl = _ctl()
+    assert ctl.observe(_sig(epoch_s=1.0, timeouts=9)) == 4
+    # Judged (big gain) AND still pressured: narrow again immediately.
+    assert ctl.observe(_sig(epoch_s=0.4, timeouts=3)) == 2
+    actions = [d.action for d in ctl.decisions if d.epoch == 1]
+    assert actions == ["keep", "narrow"]
+
+
+def test_controller_is_deterministic():
+    sigs = [
+        _sig(epoch_s=1.0, timeouts=5),
+        _sig(epoch_s=0.4, timeouts=2),
+        _sig(epoch_s=0.2),
+        _sig(epoch_s=0.2),
+    ]
+    a, b = _ctl(), _ctl()
+    assert [a.observe(s) for s in sigs] == [b.observe(s) for s in sigs]
+    assert a.decisions == b.decisions
+    assert a.trajectory() == b.trajectory()
+
+
+def test_trajectory_reports_width_per_epoch():
+    ctl = _ctl()
+    ctl.observe(_sig(timeouts=5))  # 8 -> 4
+    ctl.observe(_sig(epoch_s=0.4, timeouts=2))  # keep, 4 -> 2
+    ctl.observe(_sig(epoch_s=0.2))  # keep, healthy
+    assert ctl.trajectory() == [4, 2, 2]
+    assert isinstance(ctl.decisions[0], Decision)
+
+
+# ---------------------------------------------------------------------------
+# the coordinator, inside the simulated world
+# ---------------------------------------------------------------------------
+
+def _report(elapsed=1.0, wait=0.0, overlap=1.0):
+    return SimpleNamespace(
+        elapsed=elapsed,
+        data_wait=wait,
+        overlap_efficiency=overlap,
+        sample_latencies=np.zeros(0),
+    )
+
+
+def test_coordinator_reshards_and_repoints_the_dataset():
+    def main(ctx):
+        session = yield from client.connect(
+            ctx.comm,
+            _source(ctx),
+            elastic=ElasticOptions(enabled=True),
+        )
+        dataset = session.dataset(stats_only=True)
+        coord = ElasticCoordinator(ctx, session, SimpleNamespace(dataset=dataset))
+        old_store = session.store
+        # A heavily stalled epoch: the controller must narrow 4 -> 2 and
+        # the coordinator must actuate it live.
+        new_width = yield from coord.after_epoch(_report(elapsed=1.0, wait=0.5))
+        repointed = dataset.store is session.store
+        fetched = yield from session.store.get_samples([0, 31], decode=False)
+        return (
+            new_width,
+            session.store.width,
+            session.store.generation,
+            old_store.closed,
+            repointed,
+            len(fetched),
+            coord.summary()["reshards"],
+        )
+
+    job = run(main)
+    for new_width, width, gen, old_closed, repointed, n, reshards in job.results:
+        assert new_width == 2 and width == 2
+        assert gen == 1
+        assert old_closed  # old generation torn down exactly once
+        assert repointed
+        assert n == 2
+        assert reshards == 1
+
+
+def test_coordinator_disabled_is_a_no_op():
+    def main(ctx):
+        session = yield from client.connect(ctx.comm, _source(ctx))
+        dataset = session.dataset(stats_only=True)
+        coord = ElasticCoordinator(ctx, session, SimpleNamespace(dataset=dataset))
+        out = yield from coord.after_epoch(_report(elapsed=1.0, wait=0.9))
+        return out, session.store.width, session.store.generation, coord.enabled
+
+    job = run(main)
+    for out, width, gen, enabled in job.results:
+        assert out is None and width == 4 and gen == 0 and not enabled
+
+
+def test_coordinator_decisions_identical_on_every_rank():
+    def main(ctx):
+        session = yield from client.connect(
+            ctx.comm, _source(ctx), elastic=ElasticOptions(enabled=True)
+        )
+        dataset = session.dataset(stats_only=True)
+        coord = ElasticCoordinator(ctx, session, SimpleNamespace(dataset=dataset))
+        # Ranks disagree locally (only rank 3 is stalled); the allreduce
+        # must still land every rank on the same verdict.
+        wait = 0.5 if ctx.rank == 3 else 0.0
+        yield from coord.after_epoch(_report(elapsed=1.0, wait=wait))
+        yield from coord.after_epoch(_report(elapsed=0.3, wait=0.0))
+        session.close()
+        return coord.summary()["decisions"], session.store.width
+
+    job = run(main)
+    first_decisions, first_width = job.results[0]
+    assert all(r == (first_decisions, first_width) for r in job.results)
+    assert first_width == 2  # narrowed once, then judged healthy and kept
+
+
+# ---------------------------------------------------------------------------
+# the reshard fence: draining a live epoch scheduler mid-wave
+# ---------------------------------------------------------------------------
+
+def test_scheduler_drain_mid_wave_then_reshard_resumes_cleanly():
+    n = 32
+    gen = IsingGenerator(n, seed=0)
+
+    def main(ctx):
+        from repro.core import DDStoreDataset
+        from repro.dataplane.scheduler import EpochScheduler
+
+        store = yield from DDStore.create(
+            ctx.comm,
+            _source(ctx, n=n),
+            dataplane=DataPlaneOptions(
+                cache_bytes=1 << 20, prefetch_depth=4, scheduler=True
+            ),
+        )
+        dataset = DDStoreDataset(store, stats_only=False)
+        loader = DataLoader(dataset, ctx, batch_size=4, shuffle="global", seed=0)
+        batches = loader.epoch_batches(0)
+        sched = EpochScheduler(loader, batches, engine=ctx.engine)
+        sched.start()
+        # Consume one batch, leaving the rest of the wave (and deeper
+        # launches) in flight...
+        first = yield sched.event(0)
+        sched.advance(0)
+        # ...then fence and reshard mid-wave.
+        drained = yield from sched.drain()
+        new = yield from store.reshard(width=2)
+        dataset.store = new
+        got = [first]
+        for step in range(1, len(batches)):
+            loaded = yield sched.event(step)
+            sched.advance(step)
+            got.append(loaded)
+        ok = all(
+            loaded.batch.graph(j).allclose(gen.make(int(i)))
+            for loaded, idx in zip(got, batches)
+            for j, i in enumerate(idx)
+        )
+        yield from new.shutdown()
+        return drained, len(got), ok
+
+    job = run(main)
+    for drained, n_batches, ok in job.results:
+        assert drained > 0  # the fence had something to await
+        assert n_batches > 1
+        assert ok  # every sample bit-identical across the width change

@@ -454,3 +454,78 @@ def test_solo_session_has_no_lane_and_wraps_the_raw_store():
 
     job = run(main)
     assert all(r == (True, True, True, 1) for r in job.results)
+
+
+# ---------------------------------------------------------------------------
+# live-session reshard: atomic migration regression
+# ---------------------------------------------------------------------------
+
+def test_service_reshard_migrates_live_sessions_atomically():
+    """Regression for the live-session reshard bug: resharding under a
+    running StoreService used to leave every session pointing at the
+    closed old store, so the next fetch died with StoreClosedError.
+    Migration must carry each tenant's stats, cache partition, and DRR
+    lane onto the new generation."""
+    gen = IsingGenerator(32, seed=0)
+
+    def main(ctx):
+        service = yield from _serve(ctx)
+        a, b = service.connect("a", qos="interactive"), service.connect("b")
+        yield from a.get_samples(range(8), decode=False)
+        yield from b.get_samples(range(8, 16), decode=False)
+        old_a, old_b = a.store, b.store
+        pre_a, pre_b = a.stats.n_total, b.stats.n_total
+        new = yield from service.reshard(width=2)
+
+        same_stats = a.stats is old_a.stats and b.stats is old_b.stats
+        same_cache = a.store.cache is old_a.cache
+        same_lane = a.lane is a.store._lane and a.lane.tenant == "a"
+        old_dead = old_a.closed and old_b.closed
+        try:
+            yield from old_a.get_samples([0], decode=False)
+            old_raises = False
+        except StoreClosedError:
+            old_raises = True
+
+        # Post-migration fetches run against the new generation, and the
+        # per-tenant counters keep climbing from their old totals.
+        graphs = yield from a.get_samples(range(16, 24))
+        bytes_ok = all(g.allclose(gen.make(g.sample_id)) for g in graphs)
+        yield from b.get_samples(range(24, 32), decode=False)
+        return (
+            service.store is new,
+            new.generation,
+            a.store.generation,
+            same_stats,
+            same_cache,
+            same_lane,
+            old_dead,
+            old_raises,
+            bytes_ok,
+            a.stats.n_total - pre_a,
+            b.stats.n_total - pre_b,
+        )
+
+    job = run(main)
+    for repointed, gen_new, gen_view, stats, cache, lane, dead, raises, ok, da, db in job.results:
+        assert repointed
+        assert gen_new == 1 and gen_view == 1
+        assert stats and cache and lane
+        assert dead and raises
+        assert ok
+        assert da == 8 and db == 8  # counters monotone, never reset
+
+
+def test_service_reshard_on_closed_service_raises():
+    import pytest
+
+    def main(ctx):
+        service = yield from _serve(ctx)
+        yield from service.store.shutdown()
+        service.close()
+        return service
+
+    job = run(main)
+    for service in job.results:
+        with pytest.raises(ValueError, match="closed StoreService"):
+            next(service.reshard(width=2), None)
