@@ -283,6 +283,7 @@ def fig5_breakdown(profile: Optional[ScaleProfile] = None):
                 elapsed=r.elapsed,
                 fetch_stages=dict(r.fetch_stages),
                 fetch_counters=dict(r.fetch_counters),
+                node_nic=[dict(n) for n in r.node_nic],
             )
     text = render_table(
         ["Dataset / Method", "CPU-Load(ms)", "CPU-Batch(ms)", "GPU-Compute(ms)", "GPU-Comm(ms)", "End2End(ms)"],
@@ -304,7 +305,28 @@ def fig5_breakdown(profile: Optional[ScaleProfile] = None):
         stage_rows,
         title="Fig 5b — DDStore data-plane stage breakdown (per rank, measured epochs)",
     )
-    return text + "\n\n" + stage_text, data
+    # Fig 5c: where the wire bytes actually go — per-node NIC injection/
+    # reception utilisation and inter-node bytes (the shared-NIC pressure
+    # node-aggregated fetch exists to relieve), labelled by node.
+    nic_rows = []
+    for ds in EVAL_DATASETS:
+        for n in matrix[ds]["ddstore"].node_nic:
+            nic_rows.append(
+                [
+                    DATASET_LABELS[ds],
+                    f"node {n['node']}",
+                    f"{n['tx_bytes'] / 1e6:.2f}",
+                    f"{n['rx_bytes'] / 1e6:.2f}",
+                    f"{n['tx_util'] * 100:.1f}",
+                    f"{n['rx_util'] * 100:.1f}",
+                ]
+            )
+    nic_text = render_table(
+        ["Dataset", "Node", "TX(MB)", "RX(MB)", "TX-util(%)", "RX-util(%)"],
+        nic_rows,
+        title="Fig 5c — per-node NIC injection: inter-node wire bytes and utilisation (DDStore)",
+    )
+    return text + "\n\n" + stage_text + "\n\n" + nic_text, data
 
 
 # ---------------------------------------------------------------------------
@@ -519,6 +541,7 @@ def fig9_function_breakdown(profile: Optional[ScaleProfile] = None):
                     phases=p,
                     fetch_stages=dict(r.fetch_stages),
                     fetch_counters=dict(r.fetch_counters),
+                    node_nic=[dict(nn) for nn in r.node_nic],
                 )
             )
     text = render_table(
@@ -543,7 +566,29 @@ def fig9_function_breakdown(profile: Optional[ScaleProfile] = None):
         stage_rows,
         title="Fig 9b — DDStore fetch-stage durations across scales (per rank)",
     )
-    return text + "\n\n" + stage_text, data
+    # Fig 9c: per-node NIC injection across the sweep — inter-node wire
+    # bytes and utilisation by node (full per-node detail in the JSON).
+    nic_rows = []
+    for machine in ("summit", "perlmutter"):
+        gpn = 6 if machine == "summit" else 4
+        for point in data[machine]:
+            for n in point["node_nic"]:
+                nic_rows.append(
+                    [
+                        f"{machine} {point['nodes'] * gpn} GPUs",
+                        f"node {n['node']}",
+                        f"{n['tx_bytes'] / 1e6:.2f}",
+                        f"{n['rx_bytes'] / 1e6:.2f}",
+                        f"{n['tx_util'] * 100:.1f}",
+                        f"{n['rx_util'] * 100:.1f}",
+                    ]
+                )
+    nic_text = render_table(
+        ["Scale", "Node", "TX(MB)", "RX(MB)", "TX-util(%)", "RX-util(%)"],
+        nic_rows,
+        title="Fig 9c — per-node NIC injection: inter-node wire bytes and utilisation",
+    )
+    return text + "\n\n" + stage_text + "\n\n" + nic_text, data
 
 
 # ---------------------------------------------------------------------------

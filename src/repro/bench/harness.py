@@ -105,6 +105,7 @@ class ExperimentConfig:
     prefetch_depth: int = 1  # batches kept in flight ahead of compute
     prefetch_budget_bytes: Optional[int] = None  # in-flight byte cap
     scheduler: bool = False  # wave scheduling (needs cache_bytes > 0)
+    node_fetch: bool = False  # node-aggregated wave fetch (needs scheduler)
     cache_policy: str = "lru"  # "lru" or "belady"
     columnar: bool = False  # zero-copy columnar batch assembly (arenas)
     # tiered cache hierarchy, e.g. "gpu:2m+dram:4m+nvme:256m"; None keeps
@@ -168,6 +169,7 @@ class ExperimentConfig:
                 prefetch_depth=self.prefetch_depth,
                 prefetch_budget_bytes=self.prefetch_budget_bytes,
                 scheduler=self.scheduler,
+                node_fetch=self.node_fetch,
                 cache_policy=self.cache_policy,
                 columnar=self.columnar,
                 cache=cache,
@@ -208,6 +210,14 @@ class ExperimentResult:
     overlap_efficiency: float = 0.0  # hidden-load-time / total-load-time
     epoch_seconds: list = field(default_factory=list)  # per-epoch (slowest rank)
     control: Optional[dict] = None  # elastic controller summary (None = off)
+    # Per-node NIC roll-up: one dict per node with tx/rx wire bytes, busy
+    # seconds, and utilisation against the run horizon (see run_experiment).
+    node_nic: list = field(default_factory=list)
+
+    @property
+    def inter_node_bytes(self) -> int:
+        """Total bytes injected into the inter-node fabric (sum of tx)."""
+        return sum(n["tx_bytes"] for n in self.node_nic)
 
     @property
     def throughput(self) -> float:
@@ -522,6 +532,24 @@ def run_experiment(cfg: ExperimentConfig, observer=None) -> ExperimentResult:
             control,
             reshard_seconds=max(r["control"]["reshard_seconds"] for r in per_rank),
         )
+    # Per-node NIC roll-up over the whole run (preload included): injection
+    # (tx) and reception (rx) FIFO occupancy against the run's wall clock,
+    # plus the inter-node wire bytes each NIC actually carried.  This is
+    # the figure of merit node-aggregated fetch moves: dedup cuts tx bytes
+    # at the *owner* nodes and rx bytes at every subscriber node.
+    horizon = world.engine.now
+    node_nic = [
+        {
+            "node": i,
+            "tx_bytes": int(n.nic_out.bytes_served),
+            "rx_bytes": int(n.nic_in.bytes_served),
+            "tx_busy_s": float(n.nic_out.busy_time),
+            "rx_busy_s": float(n.nic_in.busy_time),
+            "tx_util": float(n.nic_out.utilisation(horizon)),
+            "rx_util": float(n.nic_in.utilisation(horizon)),
+        }
+        for i, n in enumerate(world.cluster.nodes)
+    ]
     return ExperimentResult(
         config=cfg,
         elapsed=elapsed,
@@ -537,4 +565,5 @@ def run_experiment(cfg: ExperimentConfig, observer=None) -> ExperimentResult:
         overlap_efficiency=hidden_total / load_total if load_total > 0 else 0.0,
         epoch_seconds=epoch_seconds,
         control=control,
+        node_nic=node_nic,
     )

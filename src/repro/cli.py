@@ -47,6 +47,7 @@ from .bench.ablations import (
     ablation_columnar,
     ablation_conv_policy,
     ablation_dataplane,
+    ablation_nodeagg,
     ablation_nvme,
     ablation_prefetch,
     ablation_resilience,
@@ -87,6 +88,7 @@ ABLATIONS: dict[str, tuple[Callable, str]] = {
     "ablation-conv": (ablation_conv_policy, "message-passing policy PNA/GIN/SAGE"),
     "resilience": (ablation_resilience, "straggler fault + retry/failover recovery"),
     "ablation-elastic": (ablation_elastic, "online elastic width retuning under a straggler"),
+    "ablation-nodeagg": (ablation_nodeagg, "node-aggregated wave fetch: leader wire reads + intra-node fan-out"),
 }
 
 # The union both the deprecated `run` spelling and `list` operate on.

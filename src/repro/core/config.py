@@ -230,6 +230,16 @@ class DataPlaneOptions:
       (GPU-pinned → DRAM → NVMe).  Mutually exclusive with the flat
       ``cache_bytes`` knob, which remains the single-DRAM-tier fast path
       and is bit-identical to prior releases.
+    * ``node_fetch`` — aggregate wave fetches at *node* scope: the ranks
+      of a node merge their per-rank wave plans (each computed locally
+      from the shared deterministic epoch permutation — zero extra
+      communication), dedup and coalesce overlapping remote ranges, and
+      a per-(node, target) leader issues the single wire read; payloads
+      fan out over the cheap intra-node path into every subscriber's
+      cache, priced as a ``"fanout"`` fetch stage and counted in the
+      ``ddstore.node`` metric family.  Requires ``scheduler=True`` (node
+      aggregation is a wave-scope operation) and a coalescing transport.
+      Off by default; disabled traces stay bit-identical.
     """
 
     framework: str = "mpi-rma"
@@ -242,6 +252,7 @@ class DataPlaneOptions:
     cache_policy: str = "lru"
     columnar: bool = False
     cache: Optional[CacheOptions] = None
+    node_fetch: bool = False
 
     def __post_init__(self) -> None:
         # Lazy import: repro.dataplane registers the built-in transports on
@@ -287,6 +298,12 @@ class DataPlaneOptions:
                 "scheduler=True parks wave-prefetched samples in the sample "
                 "cache and therefore requires cache_bytes > 0 or a tiered "
                 "cache=CacheOptions(...)"
+            )
+        if self.node_fetch and not self.scheduler:
+            raise ValueError(
+                "node_fetch=True aggregates *wave* fetches at node scope and "
+                "therefore requires scheduler=True (which in turn needs a "
+                "sample cache to park the fanned-out payloads in)"
             )
 
 

@@ -26,7 +26,12 @@ from ..graphs import ArenaPool, AtomicGraph, GraphBatch, collate
 from ..hardware import MachineSpec
 from ..mpi import RankContext
 from ..storage import SampleReader, SampleStats
-from .sampler import GlobalShuffleSampler, LocalShuffleSampler, iter_batches
+from .sampler import (
+    GlobalShuffleSampler,
+    LocalShuffleSampler,
+    SampledShuffleSampler,
+    iter_batches,
+)
 from .store import DDStore
 
 __all__ = [
@@ -106,10 +111,16 @@ class DDStoreDataset:
         time) — the scheduler's in-flight budget meter."""
         return self.store.batch_nbytes(indices)
 
-    def prefetch(self, batch_indices: Sequence[Sequence[int]]) -> Generator:
-        """Coroutine: wave-prefetch upcoming batches into the store cache."""
+    def prefetch(
+        self, batch_indices: Sequence[Sequence[int]], window=None
+    ) -> Generator:
+        """Coroutine: wave-prefetch upcoming batches into the store cache.
+
+        ``window`` (a :class:`~repro.dataplane.nodeagg.WaveWindow`) marks
+        the wave as node-aggregatable; ``None`` keeps the per-rank path.
+        """
         fetched = yield from self.store.prefetch_wave(
-            batch_indices, n_workers=self.n_workers
+            batch_indices, n_workers=self.n_workers, window=window
         )
         return fetched
 
@@ -286,15 +297,24 @@ class DataLoader:
         drop_last: bool = True,
         steps_per_epoch: Optional[int] = None,
     ) -> None:
-        if shuffle not in ("global", "local"):
-            raise ValueError(f"shuffle must be 'global' or 'local', got {shuffle!r}")
+        if shuffle not in ("global", "local", "sampled"):
+            raise ValueError(
+                f"shuffle must be 'global', 'local', or 'sampled', got {shuffle!r}"
+            )
         self.dataset = dataset
         self.ctx = ctx
         self.batch_size = batch_size
         self.drop_last = drop_last
         self.steps_per_epoch = steps_per_epoch
-        sampler_cls = GlobalShuffleSampler if shuffle == "global" else LocalShuffleSampler
-        self.sampler = sampler_cls(dataset.n_samples, ctx.size, ctx.rank, seed=seed)
+        self._sampler_cls = {
+            "global": GlobalShuffleSampler,
+            "local": LocalShuffleSampler,
+            "sampled": SampledShuffleSampler,
+        }[shuffle]
+        self._seed = seed
+        self.sampler = self._sampler_cls(
+            dataset.n_samples, ctx.size, ctx.rank, seed=seed
+        )
 
     @property
     def n_workers(self) -> int:
@@ -325,6 +345,26 @@ class DataLoader:
             iter_batches(
                 self.sampler.epoch_indices(epoch), self.batch_size, self.drop_last
             )
+        )
+        if self.steps_per_epoch is not None:
+            batches = batches[: self.steps_per_epoch]
+        return batches
+
+    def peer_epoch_batches(self, epoch: int, peer_rank: int) -> list[np.ndarray]:
+        """A *peer* rank's batches for an epoch, recomputed locally.
+
+        Every sampler is a pure function of ``(seed, epoch, rank)``, so
+        this costs no communication — the determinism node-scope fetch
+        aggregation builds on (each rank reconstructs its node peers'
+        wave plans from this oracle).
+        """
+        if peer_rank == self.ctx.rank:
+            return self.epoch_batches(epoch)
+        peer = self._sampler_cls(
+            self.dataset.n_samples, self.ctx.size, peer_rank, seed=self._seed
+        )
+        batches = list(
+            iter_batches(peer.epoch_indices(epoch), self.batch_size, self.drop_last)
         )
         if self.steps_per_epoch is not None:
             batches = batches[: self.steps_per_epoch]

@@ -1,6 +1,6 @@
 """Distributed samplers: who trains on which samples, in what order.
 
-Two strategies from the paper's §2.2:
+Three strategies — the first two from the paper's §2.2:
 
 * :class:`GlobalShuffleSampler` — a fresh global permutation every epoch,
   sliced across ranks.  Maintains model generality (every rank sees fresh
@@ -10,10 +10,18 @@ Two strategies from the paper's §2.2:
   static contiguous shard and only shuffles within it.  Cheap (all
   accesses local) but known to hurt generalisation and to require
   re-sharding whenever the GPU count changes.
+* :class:`SampledShuffleSampler` — skewed sampling *with replacement*
+  over the global id space, modelling sampling-based mini-batch GNN
+  training (neighbourhood samplers hit hub vertices far more often than
+  leaves).  Every rank draws independently from the same per-epoch
+  hotness ranking, so node-local ranks request heavily overlapping id
+  sets — the reuse-heavy pattern node-scope fetch aggregation dedups.
 
-Both drop the tail so every rank sees the same number of samples per
-epoch, which distributed data parallelism requires for its lock-step
-collectives.
+All three drop the tail so every rank sees the same number of samples
+per epoch, which distributed data parallelism requires for its
+lock-step collectives, and all three are pure functions of
+``(seed, epoch, rank)`` — any rank can reconstruct any peer's schedule
+with zero communication.
 """
 
 from __future__ import annotations
@@ -23,7 +31,12 @@ import numpy as np
 from ..sim.rng import stream
 from .chunking import balanced_partition
 
-__all__ = ["GlobalShuffleSampler", "LocalShuffleSampler", "iter_batches"]
+__all__ = [
+    "GlobalShuffleSampler",
+    "LocalShuffleSampler",
+    "SampledShuffleSampler",
+    "iter_batches",
+]
 
 
 class GlobalShuffleSampler:
@@ -78,6 +91,52 @@ class LocalShuffleSampler:
             shard.size
         )
         return shard[order][: self.per_rank]
+
+
+class SampledShuffleSampler:
+    """Deterministic skewed sampling with replacement over all samples.
+
+    Each epoch draws a fresh hotness permutation shared by every rank
+    (``stream("sampled-hotness", seed, epoch)``), then each rank maps
+    its own uniform stream through a power transform
+    ``id = hot[floor(n * u**skew)]`` — ``skew`` > 1 concentrates mass on
+    the epoch's hot ids, mimicking hub-vertex reuse in sampling-based
+    GNN workloads.  ``skew=1`` degenerates to uniform sampling with
+    replacement.
+    """
+
+    def __init__(
+        self,
+        n_samples: int,
+        n_ranks: int,
+        rank: int,
+        seed: int = 0,
+        skew: float = 4.0,
+    ) -> None:
+        if not 0 <= rank < n_ranks:
+            raise ValueError(f"rank {rank} out of range for {n_ranks} ranks")
+        if n_samples < n_ranks:
+            raise ValueError(
+                f"cannot shard {n_samples} samples over {n_ranks} ranks"
+            )
+        if skew <= 0:
+            raise ValueError(f"skew must be positive, got {skew}")
+        self.n_samples = n_samples
+        self.n_ranks = n_ranks
+        self.rank = rank
+        self.seed = seed
+        self.skew = skew
+        self.per_rank = n_samples // n_ranks  # equalised with other samplers
+
+    def epoch_indices(self, epoch: int) -> np.ndarray:
+        hot = stream("sampled-hotness", self.seed, epoch).permutation(self.n_samples)
+        u = stream("sampled-shuffle", self.seed, epoch, self.rank).random(
+            self.per_rank
+        )
+        pos = np.minimum(
+            (u**self.skew * self.n_samples).astype(np.int64), self.n_samples - 1
+        )
+        return hot[pos]
 
 
 def iter_batches(indices: np.ndarray, batch_size: int, drop_last: bool = True):

@@ -46,6 +46,7 @@ from ..dataplane import (
     TieredCache,
     fetch_with_retry,
     get_transport,
+    node_coordinator,
 )
 from ..dataplane.transport import Transport
 from ..graphs import SAMPLE_ALLOCATIONS, AtomicGraph, BatchArena
@@ -69,8 +70,9 @@ __all__ = ["DDStore", "FetchStats", "FETCH_STAGES", "StoreClosedError"]
 #: wire issue — zero on single-tenant stores; "retry" charges the backoff
 #: waits between fetch re-issues; "promote" is the tiered cache's
 #: NVMe→DRAM batched-read wall time; "scatter" is the columnar path's
-#: arena assembly, which replaces "decode").
-FETCH_STAGES = ("plan", "queue", "lock", "get", "retry", "copy", "cache", "promote", "decode", "scatter")
+#: arena assembly, which replaces "decode"; "fanout" is the node-fetch
+#: intra-node copy of leader-read payloads into subscriber caches).
+FETCH_STAGES = ("plan", "queue", "lock", "get", "retry", "copy", "cache", "promote", "decode", "scatter", "fanout")
 
 
 class StoreClosedError(RuntimeError):
@@ -107,6 +109,12 @@ class FetchStats:
     n_prefetch_waves: int = 0  # prefetch_wave calls that hit the wire
     n_prefetched: int = 0  # distinct samples parked in the cache by waves
     bytes_prefetched: int = 0  # deduplicated wire bytes moved by waves
+    # node-aggregated fetch counters (zero unless node_fetch waves run)
+    n_node_waves: int = 0  # node-aggregated prefetch_wave calls
+    n_fanout: int = 0  # samples received over the intra-node fan-out
+    bytes_fanout: int = 0  # payload bytes fanned in from node leaders
+    bytes_node_requested: int = 0  # this rank's plan-time remote demand
+    bytes_node_wire: int = 0  # bytes this rank wire-read as a leader
     # virtual seconds spent per fetch stage (keys from FETCH_STAGES)
     stage_seconds: dict[str, float] = field(default_factory=dict)
     # wave-prefetch stage seconds, kept apart from the demand-fetch path:
@@ -147,6 +155,11 @@ class FetchStats:
             n_prefetch_waves=self.n_prefetch_waves,
             n_prefetched=self.n_prefetched,
             bytes_prefetched=self.bytes_prefetched,
+            n_node_waves=self.n_node_waves,
+            n_fanout=self.n_fanout,
+            bytes_fanout=self.bytes_fanout,
+            bytes_node_requested=self.bytes_node_requested,
+            bytes_node_wire=self.bytes_node_wire,
         )
 
     def latency_array(self) -> np.ndarray:
@@ -240,6 +253,16 @@ class DDStore:
         self._lane = None
         self._tenant: Optional[str] = None
         self._qos: Optional[str] = None
+        # Node-fetch rendezvous identity: ranks of one store fleet must
+        # agree on "which store" without sharing per-rank objects, so each
+        # store carries its rank's creation ordinal — identical across
+        # ranks because every rank opens its stores in the same order.
+        # Session views inherit it (the coordinator key adds the tenant,
+        # so tenants never share rendezvous entries).
+        world = comm.communicator.world
+        seq = world.__dict__.setdefault("_store_seq_by_rank", {})
+        self._store_seq = seq.get(comm.world_rank, 0)
+        seq[comm.world_rank] = self._store_seq + 1
 
     def _build_tiered_cache(self, cache_opts) -> TieredCache:
         """Assemble the GPU→DRAM→NVMe hierarchy for this rank.
@@ -1201,7 +1224,10 @@ class DDStore:
         return latencies
 
     def prefetch_wave(
-        self, batch_indices: Sequence[Sequence[int]], n_workers: int = 1
+        self,
+        batch_indices: Sequence[Sequence[int]],
+        n_workers: int = 1,
+        window=None,
     ) -> Generator:
         """Fetch a *wave* of upcoming batches' remote samples into the cache.
 
@@ -1218,6 +1244,12 @@ class DDStore:
         this via config validation).  Already-cached, local, and zero-size
         samples are skipped.  Returns the number of distinct samples
         fetched.  Rides the same retry/failover ladder as the demand path.
+
+        With ``DataPlaneOptions(node_fetch=True)`` and a rank-invariant
+        ``window`` (a :class:`~repro.dataplane.nodeagg.WaveWindow` from
+        the scheduler), the wave is aggregated at *node* scope instead:
+        overlapping remote ranges across the node's ranks are fetched
+        once by a per-target leader and fanned out intra-node.
         """
         if self._closed:
             raise StoreClosedError(
@@ -1226,6 +1258,15 @@ class DDStore:
             )
         if not self.cache.enabled:
             return 0
+        if (
+            window is not None
+            and self.config.dataplane.node_fetch
+            and self.transport.supports_coalescing
+        ):
+            n = yield from self._prefetch_wave_nodeagg(
+                batch_indices, n_workers, window
+            )
+            return n
         engine = self.comm.engine
         stats = self.stats
         obs = self.comm.communicator.world.obs
@@ -1377,6 +1418,363 @@ class DDStore:
                 **({"tenant": self._tenant, "qos": self._qos} if self._tenant else {}),
             )
         return n_parked
+
+    # -- node-aggregated wave fetch -----------------------------------------
+    def _node_coordinator(self):
+        """The node-local wave rendezvous shared with this node's peers
+        (per tenant — sessions of one tenant share leader reads, tenants
+        never share entries)."""
+        world = self.comm.communicator.world
+        node = self._node_index
+        machine = self._machine
+        participants = tuple(
+            r
+            for r in range(self.comm.size)
+            if machine.node_of_rank(r) == node
+        )
+        return node_coordinator(
+            world,
+            node,
+            self._store_seq,
+            self._tenant,
+            self.comm.engine,
+            participants,
+        )
+
+    def nodeagg_abort(self) -> None:
+        """Force-wake node-fetch subscribers of this store's coordinator
+        (the scheduler's drain fence — see ``NodeFetchCoordinator.abort``).
+        Synchronous bookkeeping; safe to call with no coordinator live."""
+        world = self.comm.communicator.world
+        table = world.__dict__.get("_node_fetch_coords")
+        if not table:
+            return
+        key = (int(self._node_index), int(self._store_seq), self._tenant)
+        coord = table.get(key)
+        if coord is not None:
+            coord.abort()
+
+    def _peer_wave_demand(self, peer: int, window):
+        """A node peer's remote nonzero demand for one wave, recomputed
+        locally from the shared deterministic schedule (zero
+        communication).  Deliberately ignores all cache state — the plan
+        must be a pure function of (schedule, layout) so every rank
+        derives the identical node plan."""
+        peer_group_rank = self.config.group_rank(peer)
+        seen: set[int] = set()
+        keys: list[int] = []
+        members: list[int] = []
+        offs: list[int] = []
+        szs: list[int] = []
+        for batch in window.peer_batches(peer):
+            idx = np.asarray(list(batch), dtype=np.int64)
+            if idx.size == 0:
+                continue
+            owners, offsets, sizes = self.registry.locate_batch(idx)
+            for p in range(idx.size):
+                key = int(idx[p])
+                if owners[p] == peer_group_rank or sizes[p] == 0 or key in seen:
+                    continue
+                seen.add(key)
+                keys.append(key)
+                members.append(int(owners[p]))
+                offs.append(int(offsets[p]))
+                szs.append(int(sizes[p]))
+        return (
+            np.asarray(keys, np.int64),
+            np.asarray(members, np.int64),
+            np.asarray(offs, np.int64),
+            np.asarray(szs, np.int64),
+        )
+
+    def _peek_cached_payload(self, key: int, columnar: bool):
+        """Wire-format payload for ``key`` from a fast tier, or None.
+
+        A stats-silent peek (no hit/miss accounting, no recency touch):
+        leader duty serves resident samples to node peers without
+        perturbing the demand-path cache counters.  Columnar mode wants
+        header-stripped column bytes (a resident whole blob serves by
+        stripping); row mode needs the whole blob, header included.
+        """
+        cache = self.cache
+        tiers = (cache.gpu, cache.dram) if self._tiered else (cache,)
+        for tier in tiers:
+            if tier is None:
+                continue
+            entry = tier._entries.get(key)
+            if entry is None:
+                continue
+            is_col = key in tier._column_keys
+            if columnar:
+                return entry if is_col else entry[32:]
+            if not is_col:
+                return entry
+        return None
+
+    def _park_payload(self, key: int, blob, columnar: bool) -> None:
+        if columnar:
+            self.cache.put_columns(key, blob)
+        else:
+            self.cache.put(key, blob)
+
+    def _prefetch_wave_nodeagg(
+        self, batch_indices, n_workers: int, window
+    ) -> Generator:
+        """One rank's share of a node-aggregated wave fetch.
+
+        Protocol (deadlock-free by construction — leader duty never waits
+        on another rank, and subscribers only wait on leaders whose
+        publish depends on no one):
+
+        1. first arrival builds the node plan from the peers'
+           deterministic schedules; every rank pays the modelled plan CPU
+           (real deployments recompute it locally),
+        2. leader duty: wire-read the led samples this rank cannot serve
+           from its fast tiers or the node-shared NVMe tier (one
+           coalesced read per target, riding the retry/failover ladder),
+           publish the payloads, and trigger this rank's leader event,
+        3. subscribe: wait for the other leaders this rank's own demand
+           needs, then copy their payloads over the intra-node path into
+           the local cache — the ``"fanout"`` stage,
+        4. if the wave was aborted mid-wait (live-reshard drain), fetch
+           the unpublished residue over the normal per-rank wire path.
+        """
+        engine = self.comm.engine
+        stats = self.stats
+        obs = self.comm.communicator.world.obs
+        track = self.comm.world_rank
+        rank = self.comm.rank
+        t_start = engine.now
+        columnar = self.config.dataplane.columnar
+        coord = self._node_coordinator()
+        key = (self.generation, window.epoch, window.wave)
+        entry = coord.lookup(key, rank)
+        if entry is None:
+            demands = {
+                p: self._peer_wave_demand(p, window) for p in coord.participants
+            }
+            plan = self.planner.plan_node_wave(
+                demands,
+                coord.participants,
+                width=self.config.width,
+                node_of=self._machine.node_of_rank,
+                node=self._node_index,
+            )
+            entry = coord.register(key, plan, rank)
+        plan = entry.plan
+        # Modelled CPU of the node-scope merge: every rank recomputes the
+        # full plan locally (that is what makes it communication-free).
+        plan_s = _PLAN_BASE_S + _PLAN_S_PER_REQ * max(1, plan.n_union)
+        yield engine.timeout(plan_s)
+        stats.add_prefetch_stage("plan", plan_s)
+
+        # -- leader duty -----------------------------------------------------
+        led = plan.led.get(rank, ())
+        publish: dict[int, np.ndarray] = {}
+        wire_keys: list[int] = []
+        for k in led:
+            blob = self._peek_cached_payload(k, columnar)
+            if blob is not None:
+                publish[k] = blob
+            else:
+                wire_keys.append(k)
+        n_promoted = 0
+        if wire_keys and self._tiered:
+            stage_keys = [
+                k for k in wire_keys if self.cache.nvme_resident(k, column=columnar)
+            ]
+            if stage_keys:
+                n_promoted, stage_wall = self.cache.stage_up(
+                    stage_keys, engine.now, column=columnar
+                )
+                if stage_wall:
+                    yield engine.timeout(stage_wall)
+                    stats.add_prefetch_stage("promote", stage_wall)
+                still = []
+                for k in wire_keys:
+                    blob = self._peek_cached_payload(k, columnar)
+                    if blob is not None:
+                        publish[k] = blob
+                    else:
+                        still.append(k)
+                wire_keys = still
+        d_timeouts = d_retries = d_failovers = 0
+        wire_bytes = 0
+        n_reads = 0
+        if wire_keys:
+            arr = np.asarray(wire_keys, np.int64)
+            owners, offsets, sizes = self.registry.locate_batch(arr)
+            wplan = self.planner.plan_batches(
+                [(owners + self._group_base, offsets, sizes)]
+            )
+            n_streams = max(1, n_workers) * max(1, len(batch_indices))
+            outcome, d_timeouts, d_retries, d_failovers = yield from self._fetch_reads(
+                wplan.reads, n_streams=n_streams
+            )
+            for stage, seconds in outcome.stage_seconds.items():
+                stats.add_prefetch_stage(stage, seconds)
+            blobs: list[Optional[np.ndarray]] = [None] * wplan.n_requests
+            self._scatter(wplan, outcome, blobs, np.zeros(wplan.n_requests))
+            for k, blob in zip(wire_keys, blobs):
+                publish[k] = blob[32:] if columnar else blob
+            wire_bytes = wplan.total_bytes
+            n_reads = wplan.n_reads
+            stats.n_get_calls += n_reads
+            stats.bytes_transferred += wire_bytes
+        coord.publish(key, rank, publish)
+        led_bytes = sum(int(b.nbytes) for b in publish.values())
+
+        # -- subscribe + fan in ---------------------------------------------
+        my_demand = plan.demand.get(rank, ())
+        need = [k for k in my_demand if not self._wave_resident(k)]
+        n_parked = 0
+        for k in need:
+            if plan.leader_of[k] == rank and k in publish:
+                self._park_payload(k, publish[k], columnar)
+                n_parked += 1
+        sub = [k for k in need if plan.leader_of[k] != rank]
+        for leader in dict.fromkeys(plan.leader_of[k] for k in sub):
+            ev = entry.events.get(leader)
+            if ev is not None and not ev.triggered:
+                yield ev
+        fan_keys = [k for k in sub if k in entry.blobs]
+        residue = [k for k in sub if k not in entry.blobs]
+        fan_bytes = 0
+        if fan_keys:
+            t_fan = engine.now
+            fan_bytes = sum(int(entry.blobs[k].nbytes) for k in fan_keys)
+            fan_s = self._local_copy_base + fan_bytes / self._local_copy_bw
+            yield engine.timeout(fan_s)
+            stats.add_prefetch_stage("fanout", fan_s)
+            for k in fan_keys:
+                self._park_payload(k, entry.blobs[k], columnar)
+            n_parked += len(fan_keys)
+            if obs.tracing:
+                obs.tracer.record(
+                    "store.fanout",
+                    cat="store.stage",
+                    track=track,
+                    lane=1,
+                    start=t_fan,
+                    end=engine.now,
+                    n=len(fan_keys),
+                    nbytes=fan_bytes,
+                    **(
+                        {"tenant": self._tenant, "qos": self._qos}
+                        if self._tenant
+                        else {}
+                    ),
+                )
+        if residue:
+            # Aborted leaders (drain fence): self-fetch over the normal
+            # per-rank path — correct bytes, just without the savings.
+            arr = np.asarray(residue, np.int64)
+            owners, offsets, sizes = self.registry.locate_batch(arr)
+            rplan = self.planner.plan_batches(
+                [(owners + self._group_base, offsets, sizes)]
+            )
+            outcome, r_t, r_r, r_f = yield from self._fetch_reads(
+                rplan.reads, n_streams=max(1, n_workers)
+            )
+            d_timeouts += r_t
+            d_retries += r_r
+            d_failovers += r_f
+            for stage, seconds in outcome.stage_seconds.items():
+                stats.add_prefetch_stage(stage, seconds)
+            blobs = [None] * rplan.n_requests
+            self._scatter(rplan, outcome, blobs, np.zeros(rplan.n_requests))
+            for k, blob in zip(residue, blobs):
+                self._park_payload(k, blob[32:] if columnar else blob, columnar)
+            n_parked += len(residue)
+            wire_bytes += rplan.total_bytes
+            n_reads += rplan.n_reads
+            stats.n_get_calls += rplan.n_reads
+            stats.bytes_transferred += rplan.total_bytes
+        coord.finish(key, rank)
+
+        # -- accounting ------------------------------------------------------
+        requested = plan.demand_bytes.get(rank, 0)
+        stats.n_prefetch_waves += 1
+        stats.n_prefetched += n_parked
+        stats.bytes_prefetched += wire_bytes
+        stats.n_node_waves += 1
+        stats.n_fanout += len(fan_keys)
+        stats.bytes_fanout += fan_bytes
+        stats.bytes_node_requested += requested
+        stats.bytes_node_wire += wire_bytes
+
+        m = obs.metrics
+        if m.enabled:
+            for cname, val in (
+                ("n_prefetch_waves", 1),
+                ("n_prefetched", n_parked),
+                ("n_promoted", n_promoted),
+                ("bytes_prefetched", wire_bytes),
+                ("n_get_calls", n_reads),
+                ("bytes_transferred", wire_bytes),
+                ("n_timeouts", d_timeouts),
+                ("n_retries", d_retries),
+                ("n_failovers", d_failovers),
+                # FetchStats-named node counters, so the harness roll-up
+                # (which sums the fetch/prefetch families) sees them.
+                ("n_node_waves", 1),
+                ("n_fanout", len(fan_keys)),
+                ("bytes_fanout", fan_bytes),
+                ("bytes_node_requested", requested),
+                ("bytes_node_wire", wire_bytes),
+            ):
+                if val:
+                    m.counter(
+                        "ddstore.prefetch",
+                        counter=cname,
+                        rank=track,
+                        generation=self.generation,
+                    ).inc(val)
+            for cname, val in (
+                ("n_node_waves", 1),
+                ("requested_bytes", requested),
+                ("wire_bytes", wire_bytes),
+                ("wire_bytes_saved", fan_bytes),
+                ("fanout_bytes", fan_bytes),
+                ("n_fanout", len(fan_keys)),
+                ("n_leader_reads", n_reads),
+                ("led_bytes", led_bytes),
+            ):
+                if val:
+                    m.counter(
+                        "ddstore.node",
+                        counter=cname,
+                        rank=track,
+                        node=self._node_index,
+                        generation=self.generation,
+                    ).inc(val)
+            self._publish_tier_metrics(m, track)
+            self._publish_tenant(
+                m, track, n_parked, engine.now - t_start, wire_bytes, 0.0
+            )
+        if obs.tracing:
+            obs.tracer.record(
+                "store.prefetch_wave",
+                cat="store",
+                track=track,
+                lane=1,
+                start=t_start,
+                end=engine.now,
+                n=n_parked,
+                n_reads=n_reads,
+                nbytes=wire_bytes,
+                n_batches=len(batch_indices),
+                nodeagg=1,
+                **({"tenant": self._tenant, "qos": self._qos} if self._tenant else {}),
+            )
+        return n_parked
+
+    def _wave_resident(self, key: int) -> bool:
+        """Is ``key`` already servable from this rank's fast tiers (the
+        wave-prefetch skip test — no stats side effects)?"""
+        if self._tiered:
+            return self.cache.fast_resident(key)
+        return key in self.cache
 
     def _fetch_reads(self, reads, n_streams: int) -> Generator:
         """Execute planned reads through the configured resilience ladder.

@@ -22,10 +22,12 @@ caches can be added without touching :class:`~repro.core.store.DDStore`:
 """
 
 from .cache import CacheStats, SampleCache, TieredCache, TierStats
+from .nodeagg import NodeFetchCoordinator, WaveWindow, node_coordinator
 from .planner import (
     ArenaScatterMap,
     FetchPlan,
     FetchPlanner,
+    NodeWavePlan,
     PlannedRead,
     ReadSlice,
     plan_promotions,
@@ -50,6 +52,10 @@ __all__ = [
     "PlannedRead",
     "ReadSlice",
     "ArenaScatterMap",
+    "NodeWavePlan",
+    "WaveWindow",
+    "NodeFetchCoordinator",
+    "node_coordinator",
     "plan_promotions",
     "SampleCache",
     "TieredCache",

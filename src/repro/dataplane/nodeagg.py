@@ -1,0 +1,189 @@
+"""Node-scope fetch aggregation: one wire read per (node, target), fanned out.
+
+The width parameter exists because the per-node NIC injection FIFO is the
+bottleneck — yet every rank of a node independently pulls its own wire
+bytes through that shared NIC.  Epoch schedules are deterministic pure
+functions of ``(seed, epoch, rank)``, so each rank can reconstruct its
+node peers' wave plans with **zero communication** (the RapidGNN
+observation, extended across ranks), merge them at node scope, and fetch
+every remote range once per *node* instead of once per *rank* (the
+communication-avoiding move of Tripathy et al.).
+
+This module holds the node-local rendezvous state:
+
+* :class:`WaveWindow` — the scheduler's description of one wave as a
+  rank-invariant key (epoch, batch span) plus the peer-schedule oracle.
+* :class:`NodeFetchCoordinator` — one per (node, store, tenant), shared
+  by the node's ranks through the world object (the same pattern as the
+  node-shared NVMe tier).  It keeps per-wave entries: the node plan
+  (built once by the first-arriving rank — every rank still *pays* the
+  modelled plan CPU, since in a real deployment each rank recomputes it
+  locally), the per-leader completion events subscribers wait on, and
+  the published payload blobs the intra-node fan-out copies from.
+
+Determinism and liveness:
+
+* The plan is a pure function of the shared epoch schedule and the store
+  layout — no cache state, no arrival order — so which rank builds it is
+  unobservable.  Leaders are elected per owner *group member* (one
+  leader read per (node, target) wave: a single lock epoch and one
+  coalesced wire read) by nearest-replica preference: a participant that
+  *is* an owner of the member serves it from its own shard (zero wire);
+  else a participant whose replica-group copy of the member sits on this
+  node redirects the read on-node (NIC untouched — chunk contents are
+  identical across groups); else round-robin over the node's sorted
+  participants.  Ties break by member index for load balance.  All three
+  tiers are pure functions of the static (machine, width, rank-set)
+  topology, so every rank elects identical leaders with zero messages.
+* Every rank performs its leader duty (wire reads + publish) *before*
+  subscribing to other leaders, so the wait graph is acyclic: a
+  subscriber only waits on leaders whose publish requires no other rank.
+* A mid-epoch drain (the live-reshard fence) may leave subscribers
+  waiting on a leader whose wave never launches.  :meth:`abort` force-
+  triggers the outstanding events; woken subscribers consume whatever
+  was already published and self-fetch the residue over the normal
+  per-rank wire path — correct bytes, just without the savings.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+__all__ = ["WaveWindow", "NodeFetchCoordinator", "node_coordinator"]
+
+
+class WaveWindow:
+    """Rank-invariant identity of one scheduled wave plus the peer oracle.
+
+    ``epoch`` and ``wave`` (the ``[lo, hi)`` batch span inside the epoch
+    schedule) are identical on every rank — the scheduler cuts waves by
+    depth alone when node fetch is on.  ``peer_batches(peer_rank)``
+    returns that peer's batches for this wave, recomputed locally from
+    the shared deterministic permutation.
+    """
+
+    __slots__ = ("epoch", "wave", "peer_batches")
+
+    def __init__(
+        self,
+        epoch: int,
+        wave: tuple[int, int],
+        peer_batches: Callable[[int], list],
+    ) -> None:
+        self.epoch = int(epoch)
+        self.wave = (int(wave[0]), int(wave[1]))
+        self.peer_batches = peer_batches
+
+
+class _WaveEntry:
+    """Rendezvous state of one wave on one node."""
+
+    __slots__ = ("plan", "events", "blobs", "arrived", "done", "aborted")
+
+    def __init__(self, plan, events: dict) -> None:
+        self.plan = plan
+        self.events = events  # leader rank -> completion Event
+        self.blobs: dict[int, object] = {}  # sample key -> published payload
+        self.arrived: set[int] = set()
+        self.done: set[int] = set()
+        self.aborted = False
+
+
+class NodeFetchCoordinator:
+    """Node-local wave rendezvous shared by the node's ranks.
+
+    Lives on the world object (single-process simulation: all ranks are
+    coroutines of one engine), keyed by (node, store, tenant) — see
+    :func:`node_coordinator`.  All methods are synchronous bookkeeping;
+    virtual time is spent only in the store coroutines that consult it.
+    """
+
+    def __init__(self, engine, participants: tuple[int, ...]) -> None:
+        self.engine = engine
+        self.participants = tuple(sorted(int(p) for p in participants))
+        self.entries: dict[tuple, _WaveEntry] = {}
+        # Cumulative, node-scope accounting (for the load-balance metric).
+        self.led_bytes: dict[int, int] = {p: 0 for p in self.participants}
+
+    def lookup(self, key: tuple, rank: int) -> Optional[_WaveEntry]:
+        entry = self.entries.get(key)
+        if entry is not None:
+            entry.arrived.add(rank)
+        return entry
+
+    def register(self, key: tuple, plan, rank: int) -> _WaveEntry:
+        """First arrival installs the shared plan and the leader events."""
+        events = {
+            leader: self.engine.event(f"nodeagg-{key}-r{leader}")
+            for leader, keys in plan.led.items()
+            if keys
+        }
+        entry = _WaveEntry(plan, events)
+        entry.arrived.add(rank)
+        self.entries[key] = entry
+        return entry
+
+    def publish(self, key: tuple, rank: int, blobs: dict) -> None:
+        """Leader duty done: expose payloads and wake subscribers."""
+        entry = self.entries.get(key)
+        if entry is None:
+            return
+        entry.blobs.update(blobs)
+        self.led_bytes[rank] = self.led_bytes.get(rank, 0) + sum(
+            int(b.nbytes) for b in blobs.values()
+        )
+        ev = entry.events.get(rank)
+        if ev is not None and not ev.triggered:
+            ev.succeed()
+
+    def finish(self, key: tuple, rank: int) -> None:
+        """Rank ``rank`` is done with the wave; GC the entry when everyone
+        is (aborted entries wait only for the ranks that actually came)."""
+        entry = self.entries.get(key)
+        if entry is None:
+            return
+        entry.done.add(rank)
+        quorum = entry.arrived if entry.aborted else set(self.participants)
+        if entry.done >= quorum:
+            del self.entries[key]
+
+    def abort(self) -> None:
+        """Force-wake every outstanding subscriber (the drain fence).
+
+        Triggered events stay triggered; leaders that publish afterwards
+        find their event already succeeded and skip it.  Woken
+        subscribers self-fetch whatever was not yet published.
+        """
+        for entry in self.entries.values():
+            entry.aborted = True
+            for ev in entry.events.values():
+                if not ev.triggered:
+                    ev.succeed()
+
+
+def node_coordinator(
+    world,
+    node_index: int,
+    store_uid: int,
+    tenant: Optional[str],
+    engine,
+    participants: tuple[int, ...],
+) -> NodeFetchCoordinator:
+    """Resolve (or create) the coordinator shared by a node's ranks.
+
+    Keyed per (node, store, tenant): node-local sessions of one tenant
+    share leader reads, while tenants never share entries — per-tenant
+    byte isolation holds by construction.  ``store_uid`` is the store's
+    per-rank creation ordinal (identical on every rank of a fleet), NOT
+    an object id — each rank holds its own store instance, and the whole
+    point of the registry is that those instances rendezvous on the same
+    coordinator.  Reshards keep the ordinal; the store generation is part
+    of every wave key, so cross-generation waves never collide.
+    """
+    table = world.__dict__.setdefault("_node_fetch_coords", {})
+    key = (int(node_index), int(store_uid), tenant)
+    coord = table.get(key)
+    if coord is None:
+        coord = NodeFetchCoordinator(engine, participants)
+        table[key] = coord
+    return coord

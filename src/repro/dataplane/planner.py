@@ -29,6 +29,7 @@ __all__ = [
     "PlannedRead",
     "FetchPlan",
     "FetchPlanner",
+    "NodeWavePlan",
     "ArenaScatterMap",
     "plan_promotions",
 ]
@@ -48,18 +49,64 @@ class ArenaScatterMap:
     across samples in the arena), and y.  Because destinations are pure
     functions of the batch's shape table, payload bytes scatter straight
     off the wire with no per-sample decode or allocation.
+
+    Segments are stored CSR-style in four parallel columns bounded by
+    ``_ptr`` (one row span per position): building the map is a handful
+    of vectorized array ops plus one bulk ``tolist`` instead of a
+    per-position Python loop.  The columns live as plain Python lists —
+    :meth:`scatter` runs per (position, payload slice) over rows of at
+    most five segments, where native ints beat numpy's per-call
+    overhead.
     """
 
     def __init__(self, segments: list[list[tuple[int, int, int, int]]]) -> None:
-        self._segments = segments
-        self.n_segments = sum(len(s) for s in segments)
+        flat = [seg for segs in segments for seg in segs]
+        ptr = np.zeros(len(segments) + 1, np.int64)
+        np.cumsum([len(s) for s in segments], out=ptr[1:])
+        cols = (
+            np.asarray(flat, np.int64).reshape(-1, 4).T
+            if flat
+            else np.zeros((4, 0), np.int64)
+        )
+        self._init_csr(ptr, cols[0], cols[1], cols[2], cols[3])
+
+    def _init_csr(self, ptr, src_lo, src_hi, field_id, dest_lo) -> None:
+        self._ptr = np.asarray(ptr).tolist()
+        self._src_lo = np.asarray(src_lo).tolist()
+        self._src_hi = np.asarray(src_hi).tolist()
+        self._field_id = np.asarray(field_id).tolist()
+        self._dest_lo = np.asarray(dest_lo).tolist()
+        self.n_segments = len(self._src_lo)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        ptr: np.ndarray,
+        src_lo: np.ndarray,
+        src_hi: np.ndarray,
+        field_id: np.ndarray,
+        dest_lo: np.ndarray,
+    ) -> "ArenaScatterMap":
+        """Wrap already-built CSR columns (the vectorized ``plan_arena``)."""
+        out = cls.__new__(cls)
+        out._init_csr(ptr, src_lo, src_hi, field_id, dest_lo)
+        return out
 
     @property
     def n_positions(self) -> int:
-        return len(self._segments)
+        return len(self._ptr) - 1
 
     def segments_for(self, position: int) -> list[tuple[int, int, int, int]]:
-        return self._segments[position]
+        lo, hi = self._ptr[position], self._ptr[position + 1]
+        return [
+            (
+                self._src_lo[i],
+                self._src_hi[i],
+                self._field_id[i],
+                self._dest_lo[i],
+            )
+            for i in range(lo, hi)
+        ]
 
     def scatter(
         self,
@@ -78,18 +125,30 @@ class ArenaScatterMap:
         and out-of-range spans are skipped).
         """
         src_arr = src if isinstance(src, np.ndarray) else np.frombuffer(src, np.uint8)
+        a, b = self._ptr[position], self._ptr[position + 1]
+        src_lo, src_hi = self._src_lo, self._src_hi
         written = 0
-        for src_lo, src_hi, field_id, dest_lo in self._segments[position]:
-            lo = max(src_lo, sample_lo)
-            hi = min(src_hi, sample_hi)
+        for i in range(a, b):
+            lo = src_lo[i]
+            if lo < sample_lo:
+                lo = sample_lo
+            hi = src_hi[i]
+            if hi > sample_hi:
+                hi = sample_hi
             if lo >= hi:
                 continue
-            dest = dest_lo + (lo - src_lo)
-            fields[field_id][dest : dest + (hi - lo)] = src_arr[
+            dest = self._dest_lo[i] + (lo - src_lo[i])
+            fields[self._field_id[i]][dest : dest + (hi - lo)] = src_arr[
                 lo - sample_lo : hi - sample_lo
             ]
             written += hi - lo
         return written
+
+
+def _spans(breaks: np.ndarray, n: int) -> tuple[np.ndarray, np.ndarray]:
+    """``[lo, hi)`` bounds of the groups a boolean break mask delimits."""
+    starts = np.flatnonzero(breaks)
+    return starts, np.append(starts[1:], n)
 
 
 @dataclass(frozen=True)
@@ -139,6 +198,29 @@ class FetchPlan:
 
     def requests(self) -> list[tuple[int, int, int]]:
         return [r.request for r in self.reads]
+
+
+@dataclass(frozen=True)
+class NodeWavePlan:
+    """The node-scope merge of one wave's per-rank fetch plans.
+
+    Built once per (node, wave) from the peers' deterministic schedules —
+    no cache or arrival-order state, so every rank would compute the
+    identical plan.  ``leader_of`` assigns each deduplicated sample to
+    the participant elected for its owner *target* (round-robin over the
+    node's sorted ranks): that leader issues the single wire read against
+    its own replica group's member — chunk contents are identical across
+    groups, so any subscriber's batch sees the same bytes.
+    """
+
+    participants: tuple[int, ...]
+    demand: dict  # rank -> tuple of sample keys it needs remotely (plan order)
+    demand_bytes: dict  # rank -> total bytes of that demand
+    leader_of: dict  # sample key -> leader rank
+    led: dict  # leader rank -> list of sample keys it reads + publishes
+    meta: dict  # sample key -> (owner_member, offset, nbytes)
+    n_union: int  # deduplicated node-scope sample count
+    union_bytes: int  # deduplicated node-scope byte demand
 
 
 class FetchPlanner:
@@ -269,6 +351,83 @@ class FetchPlanner:
         )
         return self.plan(targets, offsets, sizes, positions=positions)
 
+    def plan_node_wave(
+        self,
+        demands: dict,
+        participants: Sequence[int],
+        width: Optional[int] = None,
+        node_of=None,
+        node: Optional[int] = None,
+    ) -> NodeWavePlan:
+        """Merge node peers' per-rank wave demands into one node plan.
+
+        ``demands`` maps each participant rank to its
+        ``(keys, owner_members, offsets, sizes)`` arrays — the samples
+        that rank must fetch remotely this wave, already deduplicated and
+        in its deterministic request order.  Overlapping demands collapse
+        to one entry and a per-(node, owner-member) leader is elected.
+
+        Election is *nearest-replica* when the group topology is given
+        (``width`` = replica-group width, ``node_of`` = rank -> node,
+        ``node`` = this node's index): chunk contents are identical
+        across replica groups, so a leader reads member ``m`` from its
+        *own* group's copy — and the election prefers, in order, a
+        participant that **is** its group's member ``m`` (a self-copy,
+        no wire at all), then one whose group replica of ``m`` sits on
+        this node (intra-node path, NIC untouched), then round-robin.
+        Ties break by ``m`` modulo the candidate count, so leader load
+        stays balanced.  The election is a pure function of the static
+        topology and the member index — every rank derives it
+        identically with zero communication.  Without topology the
+        round-robin fallback alone applies.
+        """
+        participants = tuple(sorted(int(p) for p in participants))
+        P = len(participants)
+
+        def elect(m: int) -> int:
+            if width:
+                owner = [p for p in participants if p - p % width + m == p]
+                if owner:
+                    return owner[m % len(owner)]
+                if node_of is not None and node is not None:
+                    near = [
+                        p
+                        for p in participants
+                        if node_of(p - p % width + m) == node
+                    ]
+                    if near:
+                        return near[m % len(near)]
+            return participants[m % P]
+
+        demand: dict[int, tuple] = {}
+        demand_bytes: dict[int, int] = {}
+        leader_of: dict[int, int] = {}
+        led: dict[int, list[int]] = {}
+        meta: dict[int, tuple[int, int, int]] = {}
+        for p in participants:
+            keys, members, offsets, sizes = demands.get(p) or ((), (), (), ())
+            keys = np.asarray(keys, np.int64)
+            demand[p] = tuple(int(k) for k in keys)
+            demand_bytes[p] = int(np.asarray(sizes, np.int64).sum()) if len(sizes) else 0
+            for k, m, o, s in zip(keys, members, offsets, sizes):
+                k = int(k)
+                if k in meta:
+                    continue
+                meta[k] = (int(m), int(o), int(s))
+                leader = elect(int(m))
+                leader_of[k] = leader
+                led.setdefault(leader, []).append(k)
+        return NodeWavePlan(
+            participants=participants,
+            demand=demand,
+            demand_bytes=demand_bytes,
+            leader_of=leader_of,
+            led=led,
+            meta=meta,
+            n_union=len(meta),
+            union_bytes=sum(m[2] for m in meta.values()),
+        )
+
     def plan_arena(
         self,
         node_counts: Sequence[int] | np.ndarray,
@@ -290,36 +449,59 @@ class FetchPlanner:
         ne = np.asarray(edge_counts, dtype=np.int64)
         if nn.size != ne.size:
             raise ValueError("node_counts/edge_counts must have equal length")
-        ptr = np.zeros(nn.size + 1, np.int64)
+        P = nn.size
+        ptr = np.zeros(P + 1, np.int64)
         np.cumsum(nn, out=ptr[1:])
-        eptr = np.zeros(ne.size + 1, np.int64)
+        eptr = np.zeros(P + 1, np.int64)
         np.cumsum(ne, out=eptr[1:])
         e_total = int(eptr[-1])
-        segments: list[list[tuple[int, int, int, int]]] = []
-        for p in range(nn.size):
-            n = int(nn[p])
-            e = int(ne[p])
-            lo = header_nbytes
-            segs: list[tuple[int, int, int, int]] = []
-            pos_nb = 4 * n * 3
-            if pos_nb:
-                segs.append((lo, lo + pos_nb, 0, 12 * int(ptr[p])))
-            lo += pos_nb
-            feat_nb = 4 * n * feature_dim
-            if feat_nb:
-                segs.append((lo, lo + feat_nb, 1, 4 * feature_dim * int(ptr[p])))
-            lo += feat_nb
-            edge_nb = 4 * e
-            if edge_nb:
-                segs.append((lo, lo + edge_nb, 2, 4 * int(eptr[p])))
-                lo += edge_nb
-                segs.append((lo, lo + edge_nb, 2, 4 * e_total + 4 * int(eptr[p])))
-                lo += edge_nb
-            y_nb = 4 * output_dim
-            if y_nb:
-                segs.append((lo, lo + y_nb, 3, y_nb * p))
-            segments.append(segs)
-        return ArenaScatterMap(segments)
+        # All five candidate segments of every position at once: a (P, 5)
+        # table of source spans and destinations, masked where zero-length.
+        pos_nb = 12 * nn
+        feat_nb = 4 * feature_dim * nn
+        edge_nb = 4 * ne
+        y_nb = 4 * output_dim
+        lo0 = np.full(P, header_nbytes, np.int64)
+        lo1 = lo0 + pos_nb
+        lo2 = lo1 + feat_nb
+        lo3 = lo2 + edge_nb
+        lo4 = lo3 + edge_nb
+        src_lo = np.stack([lo0, lo1, lo2, lo3, lo4], axis=1)
+        nb = np.stack(
+            [
+                pos_nb,
+                feat_nb,
+                edge_nb,
+                edge_nb,
+                np.full(P, y_nb, np.int64),
+            ],
+            axis=1,
+        )
+        dest = np.stack(
+            [
+                12 * ptr[:-1],
+                4 * feature_dim * ptr[:-1],
+                4 * eptr[:-1],
+                4 * e_total + 4 * eptr[:-1],
+                y_nb * np.arange(P, dtype=np.int64),
+            ],
+            axis=1,
+        )
+        field = np.broadcast_to(
+            np.asarray([0, 1, 2, 2, 3], np.int64), (P, 5)
+        )
+        keep = nb > 0
+        row_ptr = np.zeros(P + 1, np.int64)
+        np.cumsum(keep.sum(axis=1), out=row_ptr[1:])
+        flat = keep.reshape(-1)
+        src_lo = src_lo.reshape(-1)[flat]
+        return ArenaScatterMap.from_arrays(
+            row_ptr,
+            src_lo,
+            src_lo + nb.reshape(-1)[flat],
+            field.reshape(-1)[flat],
+            dest.reshape(-1)[flat],
+        )
 
     def _coalesced(
         self,
@@ -329,27 +511,65 @@ class FetchPlanner:
         sizes: np.ndarray,
         positions: np.ndarray,
     ) -> list[PlannedRead]:
-        n = targets.size
+        # Vectorized merge sweep over the (target, offset)-sorted requests.
+        # A new read starts where the target changes or where an offset
+        # clears the running maximum of the span ends seen so far in the
+        # target run.  The running max over the whole *run* gives the same
+        # break decisions as the per-group max of the old pairwise sweep:
+        # every end in an already-closed group is strictly below the offset
+        # that closed it, and offsets are non-decreasing, so the comparison
+        # reduces to the current group's max.
+        t = targets[order]
+        o = offsets[order]
+        e = o + sizes[order]
+        n = t.size
+        breaks = np.empty(n, bool)
+        breaks[0] = True
+        breaks[1:] = t[1:] != t[:-1]
+        for a, b in zip(*_spans(breaks, n)):
+            if b - a > 1:
+                run_max = np.maximum.accumulate(e[a : b - 1])
+                breaks[a + 1 : b] |= o[a + 1 : b] > run_max
+        starts, ends = _spans(breaks, n)
+        span_lo = o[starts]
+        span_hi = np.maximum.reduceat(e, starts)
+        # Fast path: a span at or under the read cap is emitted whole, and
+        # every member lies entirely inside it — no clipping, so all slice
+        # fields come straight from the sorted arrays (sample_offset is 0,
+        # read_offset is the member's distance from the span start).  Only
+        # oversized spans fall back to the splitting ``_emit_span``.
+        gid = np.cumsum(breaks) - 1
+        read_off = (o - span_lo[gid]).tolist()
+        samp_nb = (e - o).tolist()
+        pos = positions[order].tolist()
+        t_l = t[starts].tolist()
+        lo_l = span_lo.tolist()
+        hi_l = span_hi.tolist()
+        max_nb = self.max_read_bytes
+        big = (span_hi - span_lo > max_nb) if max_nb is not None else None
         reads: list[PlannedRead] = []
-        i = 0
-        while i < n:
-            j = int(order[i])
-            target = int(targets[j])
-            span_lo = int(offsets[j])
-            span_hi = span_lo + int(sizes[j])
-            members = [j]
-            k = i + 1
-            while k < n:
-                m = int(order[k])
-                if int(targets[m]) != target or int(offsets[m]) > span_hi:
-                    break
-                span_hi = max(span_hi, int(offsets[m]) + int(sizes[m]))
-                members.append(m)
-                k += 1
-            reads.extend(
-                self._emit_span(target, span_lo, span_hi, members, offsets, sizes, positions)
+        for g, (a, b) in enumerate(zip(starts.tolist(), ends.tolist())):
+            if big is not None and big[g]:
+                reads.extend(
+                    self._emit_span(
+                        t_l[g], lo_l[g], hi_l[g], order[a:b],
+                        offsets, sizes, positions,
+                    )
+                )
+                continue
+            slices = tuple(
+                ReadSlice(pos[i], 0, read_off[i], samp_nb[i])
+                for i in range(a, b)
+                if samp_nb[i]
             )
-            i = k
+            reads.append(
+                PlannedRead(
+                    target=t_l[g],
+                    offset=lo_l[g],
+                    nbytes=hi_l[g] - lo_l[g],
+                    slices=slices,
+                )
+            )
         return reads
 
     def _emit_span(
@@ -357,7 +577,7 @@ class FetchPlanner:
         target: int,
         span_lo: int,
         span_hi: int,
-        members: list[int],
+        members,
         offsets: np.ndarray,
         sizes: np.ndarray,
         positions: np.ndarray,
@@ -372,17 +592,25 @@ class FetchPlanner:
                 b = min(a + max_nb, span_hi)
                 pieces.append((a, b))
                 a = b
+        members = np.asarray(members, np.int64)
+        m_off = offsets[members]
+        m_end = m_off + sizes[members]
+        m_pos = positions[members]
         out = []
         for a, b in pieces:
-            slices = []
-            for j in members:
-                o, s = int(offsets[j]), int(sizes[j])
-                lo, hi = max(a, o), min(b, o + s)
-                if lo >= hi:
-                    continue
-                slices.append(ReadSlice(int(positions[j]), lo - o, lo - a, hi - lo))
+            lo = np.maximum(a, m_off)
+            hi = np.minimum(b, m_end)
+            slices = tuple(
+                ReadSlice(
+                    int(m_pos[i]),
+                    int(lo[i] - m_off[i]),
+                    int(lo[i] - a),
+                    int(hi[i] - lo[i]),
+                )
+                for i in np.flatnonzero(hi > lo)
+            )
             out.append(
-                PlannedRead(target=target, offset=int(a), nbytes=int(b - a), slices=tuple(slices))
+                PlannedRead(target=target, offset=int(a), nbytes=int(b - a), slices=slices)
             )
         return out
 

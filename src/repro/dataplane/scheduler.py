@@ -68,6 +68,7 @@ class EpochScheduler:
         options=None,
         obs=None,
         track: int = 0,
+        epoch: Optional[int] = None,
     ) -> None:
         self.loader = loader
         self.batches = list(batches)
@@ -87,6 +88,18 @@ class EpochScheduler:
             and hasattr(loader.dataset, "prefetch")
         )
         self.waves_enabled = bool(can_wave)
+        # Node-scope wave aggregation: needs an epoch identity (batches
+        # from the deterministic epoch schedule — trainer epochs qualify,
+        # ad-hoc index chunks like evaluate()'s do not) and a loader that
+        # can reconstruct node peers' schedules locally.
+        self._node_fetch = bool(
+            can_wave
+            and getattr(options, "node_fetch", False)
+            and epoch is not None
+            and hasattr(loader, "peer_epoch_batches")
+        )
+        self._epoch = int(epoch) if epoch is not None else 0
+        self._peer_memo: dict[int, list] = {}
         self._cache = cache
         self._belady = bool(
             cache is not None and cache.enabled and cache.policy == "belady"
@@ -152,8 +165,14 @@ class EpochScheduler:
         n = len(self.batches)
         # Tier-aware cap: a wave bigger than the fast (gpu+dram) tiers
         # would demote its own head before the trailing batches consume
-        # it, so cut waves at the fast-tier budget as well.
+        # it, so cut waves at the fast-tier budget as well.  Node-scope
+        # aggregation requires *rank-invariant* wave cuts (the wave span
+        # is the node rendezvous key), so with node_fetch the byte-based
+        # cuts — which depend on this rank's batch sizes — are skipped
+        # and waves are cut purely by depth.
         fast_cap = getattr(self._cache, "fast_capacity_bytes", None)
+        if self._node_fetch:
+            fast_cap = None
         lo = 0
         while lo < n:
             hi = lo + 1
@@ -164,10 +183,11 @@ class EpochScheduler:
             limit = 1 if lo == 0 else self.depth
             while hi < n and hi - lo < limit:
                 nxt = self._batch_bytes(hi)
-                if self.budget is not None and wave_bytes + nxt > self.budget:
-                    break
-                if fast_cap is not None and wave_bytes + nxt > fast_cap:
-                    break
+                if not self._node_fetch:
+                    if self.budget is not None and wave_bytes + nxt > self.budget:
+                        break
+                    if fast_cap is not None and wave_bytes + nxt > fast_cap:
+                        break
                 wave_bytes += nxt
                 hi += 1
             w = len(self._waves)
@@ -175,12 +195,39 @@ class EpochScheduler:
             self._wave_of.extend([w] * (hi - lo))
             lo = hi
 
+    def _peer_wave_batches(self, lo: int, hi: int):
+        """The peer-schedule oracle for one wave: ``fn(peer) -> batches``.
+
+        Peer epochs are memoized per scheduler (one epoch), so a P-rank
+        node recomputes each peer permutation once, not once per wave.
+        """
+
+        def fn(peer: int):
+            batches = self._peer_memo.get(peer)
+            if batches is None:
+                batches = self.loader.peer_epoch_batches(self._epoch, peer)
+                self._peer_memo[peer] = batches
+            return batches[lo:hi]
+
+        return fn
+
     def _wave_proc(self, w: int):
         proc = self._wave_procs.get(w)
         if proc is None:
             lo, hi = self._waves[w]
+            if self._node_fetch:
+                from .nodeagg import WaveWindow
+
+                gen = self.loader.dataset.prefetch(
+                    self.batches[lo:hi],
+                    window=WaveWindow(
+                        self._epoch, (lo, hi), self._peer_wave_batches(lo, hi)
+                    ),
+                )
+            else:
+                gen = self.loader.dataset.prefetch(self.batches[lo:hi])
             proc = self.engine.process(
-                self.loader.dataset.prefetch(self.batches[lo:hi]),
+                gen,
                 name="prefetch-wave",
             )
             self._wave_procs[w] = proc
@@ -258,6 +305,15 @@ class EpochScheduler:
         launch on demand against whatever store the loader then points
         at).  Returns the number of events awaited.
         """
+        if self._node_fetch:
+            # Wake node-fetch subscribers first: a wave proc here may be
+            # waiting on a leader whose own wave never launched (launch
+            # windows differ by up to the byte budget across ranks) — the
+            # abort makes every pending wave self-sufficient before we
+            # await it.
+            store = getattr(self.loader.dataset, "store", None)
+            if store is not None:
+                store.nodeagg_abort()
         pending = [e for e in self._events if e is not None]
         pending.extend(
             p for p in self._wave_procs.values() if p is not None

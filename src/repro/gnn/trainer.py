@@ -165,7 +165,7 @@ class Trainer:
         # ``prefetch_depth`` batch loads in flight while batch k computes
         # (depth 1 — the default — is the seed pipeline, bit-for-bit).
         sched = EpochScheduler(
-            self.loader, batches, engine=engine, obs=obs, track=track
+            self.loader, batches, engine=engine, obs=obs, track=track, epoch=epoch
         )
         self._sched = sched
         sched.start()

@@ -95,8 +95,12 @@ class Interconnect:
             dst_node = self.cluster.node_of_rank(dst_rank)
             service = nic.message_overhead_s + nbytes / nic.bandwidth_Bps
             jit = self._jitter(src_rank, 2)
-            injected = src_node.nic_out.serve(arrival, service * float(jit[0]))
-            arrived = dst_node.nic_in.serve(injected + nic.latency_s, service * float(jit[1]))
+            injected = src_node.nic_out.serve(
+                arrival, service * float(jit[0]), nbytes=int(nbytes)
+            )
+            arrived = dst_node.nic_in.serve(
+                injected + nic.latency_s, service * float(jit[1]), nbytes=int(nbytes)
+            )
         if self.faults is not None:
             arrived = self.faults.apply_message(src_rank, dst_rank, arrival, arrived)
         return arrived
@@ -189,11 +193,16 @@ class Interconnect:
             done = np.empty(remote_idx.size, dtype=np.float64)
             tnodes = target_nodes[remote_idx]
             nodes = self.cluster.nodes
+            remote_nb = nbytes[remote_idx]
             for k in range(remote_idx.size):
                 injected = nodes[int(tnodes[k])].nic_out.serve(
-                    float(request_arrive[k]), float(service[k])
+                    float(request_arrive[k]), float(service[k]),
+                    nbytes=int(remote_nb[k]),
                 )
-                done[k] = origin_in.serve(injected + nic.latency_s, float(service[k]))
+                done[k] = origin_in.serve(
+                    injected + nic.latency_s, float(service[k]),
+                    nbytes=int(remote_nb[k]),
+                )
             completions[remote_idx] = done
 
         if self.faults is not None:

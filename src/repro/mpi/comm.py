@@ -96,8 +96,14 @@ class World:
         self.machine = machine
         if ranks_per_node is not None and ranks_per_node != machine.gpus_per_node:
             raise ValueError(
-                "ranks_per_node must equal gpus_per_node "
-                f"({machine.gpus_per_node}) in this reproduction"
+                f"World(ranks_per_node={ranks_per_node}) conflicts with machine "
+                f"{machine.name!r}, which runs {machine.gpus_per_node} ranks per "
+                "node: the reproduction pins one rank per GPU, so the rank grid "
+                "is machine-defined (node-local rank sets, NIC sharing, and the "
+                "node-fetch rendezvous all derive from MachineSpec.gpus_per_node)."
+                " Either drop the ranks_per_node argument, or describe the "
+                "machine you mean: dataclasses.replace(get_machine("
+                f"{machine.name!r}), gpus_per_node={ranks_per_node})."
             )
         self.cluster = Cluster(self.engine, machine, n_nodes)
         self.net = Interconnect(self.cluster, jitter_sigma=jitter_sigma, seed=seed)

@@ -114,6 +114,14 @@ def _tiered_cfg(profile):
     )
 
 
+def _nodeagg_cfg(profile):
+    """Node-aggregated waves on: leader wire reads plus ``store.fanout``
+    spans on the intra-node delivery path."""
+    from ..bench.ablations import _nodeagg_cell
+
+    return _nodeagg_cell(profile, node_fetch=True)
+
+
 def _p2p_cfg(profile):
     """The rejected two-sided design, for comparing trace shapes."""
     from ..bench.harness import ExperimentConfig
@@ -135,6 +143,7 @@ TRACEABLE: dict[str, tuple[Callable, str]] = {
     "columnar": (_columnar_cfg, "zero-copy columnar arena-scatter byte path"),
     "tiered": (_tiered_cfg, "tiered cache hierarchy with NVMe promotion"),
     "p2p": (_p2p_cfg, "two-sided ablation data plane"),
+    "nodeagg": (_nodeagg_cfg, "node-aggregated wave fetch with intra-node fan-out"),
 }
 
 

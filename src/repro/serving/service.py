@@ -110,8 +110,12 @@ class TenantSession:
     def get_batch_arena(self, indices, arena, n_workers: int = 1) -> Generator:
         return (yield from self.store.get_batch_arena(indices, arena, n_workers=n_workers))
 
-    def prefetch_wave(self, batch_indices, n_workers: int = 1) -> Generator:
-        return (yield from self.store.prefetch_wave(batch_indices, n_workers=n_workers))
+    def prefetch_wave(self, batch_indices, n_workers: int = 1, window=None) -> Generator:
+        return (
+            yield from self.store.prefetch_wave(
+                batch_indices, n_workers=n_workers, window=window
+            )
+        )
 
     def dataset(self, stats_only: bool = False, n_workers: int = 1):
         """A :class:`~repro.core.DDStoreDataset` over this session."""

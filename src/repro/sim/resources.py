@@ -242,7 +242,7 @@ class FluidStation:
     """
 
     __slots__ = ("engine", "name", "bucket_s", "cur_bucket", "used", "carry",
-                 "jobs_served", "busy_time")
+                 "jobs_served", "busy_time", "bytes_served")
 
     def __init__(self, engine: Engine, bucket_s: float = 2.5e-4, name: str = "fluid") -> None:
         if bucket_s <= 0:
@@ -255,6 +255,7 @@ class FluidStation:
         self.carry = 0.0  # backlog carried into the current bucket
         self.jobs_served = 0
         self.busy_time = 0.0
+        self.bytes_served = 0  # payload bytes, when the caller knows them
 
     def _advance(self, bucket: int) -> None:
         if bucket <= self.cur_bucket:
@@ -268,7 +269,7 @@ class FluidStation:
         self.used = 0.0
         self.cur_bucket = bucket
 
-    def serve(self, arrival: float, service_time: float) -> float:
+    def serve(self, arrival: float, service_time: float, nbytes: int = 0) -> float:
         if service_time < 0:
             raise ValueError("negative service time")
         bucket = int(arrival / self.bucket_s)
@@ -280,6 +281,7 @@ class FluidStation:
         self.used += service_time
         self.jobs_served += 1
         self.busy_time += service_time
+        self.bytes_served += nbytes
         return arrival + queue + service_time
 
     def utilisation(self, horizon: Optional[float] = None) -> float:
@@ -292,3 +294,4 @@ class FluidStation:
         self.carry = 0.0
         self.jobs_served = 0
         self.busy_time = 0.0
+        self.bytes_served = 0
